@@ -1,0 +1,80 @@
+"""Experiment C8 — cost of the cryptographic substrate (section 4.2).
+
+Every protocol message costs one signature at the sender, one
+verification per receiver, and a TSA time-stamp; state identifiers cost
+hashes.  This bench characterises those primitives across RSA key sizes
+so the protocol-level numbers elsewhere can be decomposed.
+
+Expected shape: signing grows roughly cubically with modulus size,
+verification stays cheap (small public exponent), hashing is negligible.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.metrics import format_table
+from repro.crypto import (
+    DeterministicRandomSource,
+    TimestampService,
+    generate_party_keypair,
+    hash_value,
+)
+
+RNG = DeterministicRandomSource("bench-crypto")
+PAYLOAD = {"object": "order", "seq": 42, "state": {"widget1": 2, "note": "x" * 64}}
+
+
+def _time_it(fn, count):
+    start = time.perf_counter()
+    for _ in range(count):
+        fn()
+    return (time.perf_counter() - start) / count
+
+
+def measure_key_size(bits):
+    keypair = generate_party_keypair(f"bench{bits}", bits=bits, rng=RNG)
+    signer, verifier = keypair.signer(), keypair.verifier()
+    signature = signer.sign(PAYLOAD)
+    keygen_time = _time_it(
+        lambda: generate_party_keypair(f"k{bits}", bits=bits, rng=RNG), 3
+    )
+    sign_time = _time_it(lambda: signer.sign(PAYLOAD), 30)
+    verify_time = _time_it(lambda: verifier.verify(PAYLOAD, signature), 30)
+    return keygen_time, sign_time, verify_time
+
+
+def test_c8_crypto_primitives(benchmark, report):
+    rows = []
+    sign_times = {}
+    # 512 bits is the smallest modulus that fits a SHA-256 PKCS#1
+    # signature payload (62 bytes + padding).
+    for bits in (512, 768, 1024):
+        keygen_time, sign_time, verify_time = measure_key_size(bits)
+        sign_times[bits] = sign_time
+        rows.append([bits, keygen_time * 1e3, sign_time * 1e6,
+                     verify_time * 1e6])
+
+    hash_time = _time_it(lambda: hash_value(PAYLOAD), 2000)
+    tsa = TimestampService(keypair=generate_party_keypair("TSA", bits=512,
+                                                          rng=RNG))
+    stamp_time = _time_it(lambda: tsa.stamp(PAYLOAD), 30)
+
+    # Shape: signing cost grows superlinearly with key size; hashing is
+    # orders of magnitude cheaper than signing.
+    assert sign_times[1024] > sign_times[512] * 2
+    assert hash_time < sign_times[512] / 20
+
+    keypair = generate_party_keypair("bench-loop", bits=512, rng=RNG)
+    signer = keypair.signer()
+    benchmark(lambda: signer.sign(PAYLOAD))
+
+    body = format_table(
+        ["RSA bits", "keygen (ms)", "sign (us)", "verify (us)"], rows
+    ) + (
+        f"\n\nSHA-256 structured hash: {hash_time * 1e6:.1f} us\n"
+        f"TSA time-stamp token (512-bit): {stamp_time * 1e6:.1f} us\n"
+        "per protocol message: 1 sign + 1 stamp at the sender, "
+        "1-2 verifies per receiver"
+    )
+    report("C8", "cryptographic substrate cost", body)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one experiment from DESIGN.md (a figure from
+the paper or a prose claim).  Beyond pytest-benchmark's timing table,
+each experiment writes its qualitative table — the rows the paper
+reports — to ``benchmarks/results/<experiment>.txt`` and to stdout.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.core.community as community_module
+from repro.crypto.prng import DeterministicRandomSource
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signature import KeyPair
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_KEY_CACHE: "dict[tuple[str, int], KeyPair]" = {}
+_CACHE_RNG = DeterministicRandomSource("bench-key-cache")
+
+
+def _cached_generate_party_keypair(party_id, bits=512, rng=None):
+    key = (party_id, bits)
+    if key not in _KEY_CACHE:
+        _KEY_CACHE[key] = KeyPair(
+            party_id=party_id,
+            private_key=generate_keypair(bits, _CACHE_RNG),
+        )
+    return _KEY_CACHE[key]
+
+
+@pytest.fixture(autouse=True)
+def _fast_keys(monkeypatch):
+    monkeypatch.setattr(
+        community_module, "generate_party_keypair", _cached_generate_party_keypair
+    )
+
+
+@pytest.fixture
+def report():
+    """Write an experiment report block to the results directory."""
+
+    def write(experiment_id: str, title: str, body: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        text = f"== {experiment_id}: {title} ==\n{body.rstrip()}\n"
+        path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("\n" + text)
+
+    return write

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario 3 (section 2): a distributed auction service.
+
+Three autonomous auction houses jointly run an auction.  Clients bid
+through whichever house they like; every bid is validated by all houses,
+so no single house can favour its own clients, and every house holds
+non-repudiable evidence of the full bid history.
+
+Run:  python examples/auction_demo.py
+"""
+
+from repro import Community
+from repro.apps import AuctionHouse, AuctionObject
+from repro.errors import ValidationFailed
+
+
+def main() -> None:
+    houses = ["ChristiesNorth", "SothebysEast", "PhillipsWest"]
+    community = Community(houses)
+    replicas = {name: AuctionObject(item="painting-42", reserve=100)
+                for name in houses}
+    controllers = community.found_object("auction", replicas)
+    desks = {name: AuctionHouse(controllers[name]) for name in houses}
+
+    print("reserve price: 100\n")
+    print("alice bids 100 through", houses[0])
+    desks[houses[0]].place_bid("alice", 100)
+    print("bob bids 150 through", houses[1])
+    desks[houses[1]].place_bid("bob", 150)
+
+    print("mallory bids 120 through", houses[2], "(below current highest)...")
+    try:
+        desks[houses[2]].place_bid("mallory", 120)
+    except ValidationFailed as exc:
+        print("  rejected by the other houses:", exc.diagnostics[0])
+
+    print("carol bids 200 through", houses[2])
+    desks[houses[2]].place_bid("carol", 200)
+
+    print("\n", houses[0], "closes the auction")
+    desks[houses[0]].close_auction()
+    community.settle()
+
+    for name in houses:
+        winner = replicas[name].winner
+        print(f"  {name} records the winner as: "
+              f"{winner['bidder']} at {winner['amount']}")
+
+    # Every house holds the same evidence trail of every accepted bid.
+    for name in houses:
+        log = community.node(name).ctx.evidence
+        decisions = [e for e in log.entries("authenticated-decision")
+                     if e.payload["valid"]]
+        log.verify_chain()
+        print(f"  {name}: {len(decisions)} unanimously agreed state "
+              "changes on file")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Transactional multi-object updates via a composite object.
+
+Section 4 notes the protocol "applies just as well to the use of a
+composite object to coordinate the states of multiple objects", and
+section 5's scoping hooks support transactional access.  This demo
+updates an order *and* its invoice as one atomic unit of agreement:
+either both changes are validated and installed everywhere, or neither
+is.
+
+Run:  python examples/composite_transaction_demo.py
+"""
+
+from repro import Community, CompositeB2BObject, DictB2BObject
+from repro.errors import ValidationFailed
+from repro.protocol import Decision
+
+
+class Invoice(DictB2BObject):
+    """An invoice that must always equal quantity x unit price."""
+
+    def __init__(self, order: DictB2BObject,
+                 initial: "dict | None" = None) -> None:
+        super().__init__(initial)
+        self._order = order
+
+    def validate_state(self, proposed, current, proposer):
+        # Cross-object rule: the invoice amount must be consistent with
+        # the order it bills.  Because both travel in one composite
+        # proposal, the rule sees the (proposed) pair atomically.
+        quantity = self._pending_quantity
+        amount = proposed.get("amount")
+        if quantity is not None and amount != quantity * 10:
+            return Decision.reject(
+                f"invoice amount {amount} != quantity {quantity} x unit price 10"
+            )
+        return Decision.accept()
+
+    _pending_quantity = None
+
+
+class Bundle(CompositeB2BObject):
+    """Order + invoice under one coordinated state."""
+
+    def validate_state(self, proposed, current, proposer):
+        # Let the invoice child see the proposed order quantity.
+        invoice = self.children["invoice"]
+        invoice._pending_quantity = proposed["order"].get("quantity")
+        try:
+            return super().validate_state(proposed, current, proposer)
+        finally:
+            invoice._pending_quantity = None
+
+
+def build(name):
+    order = DictB2BObject({"quantity": 0})
+    invoice = Invoice(order, {"amount": 0})
+    return Bundle({"order": order, "invoice": invoice}), order, invoice
+
+
+def main() -> None:
+    community = Community(["Buyer", "Seller"])
+    bundles, orders, invoices = {}, {}, {}
+    for name in community.names():
+        bundles[name], orders[name], invoices[name] = build(name)
+    controllers = community.found_object("order-bundle", bundles)
+
+    controller = controllers["Buyer"]
+    print("atomic update: quantity 3 + invoice 30")
+    controller.enter()
+    controller.overwrite()
+    orders["Buyer"].set_attribute("quantity", 3)
+    invoices["Buyer"].set_attribute("amount", 30)
+    controller.leave()
+    community.settle()
+    print("  Seller sees: order", orders["Seller"].attributes(),
+          "invoice", invoices["Seller"].attributes())
+
+    print("\ninconsistent update: quantity 5 but invoice still 30 ...")
+    controller.enter()
+    controller.overwrite()
+    orders["Buyer"].set_attribute("quantity", 5)
+    try:
+        controller.leave()
+    except ValidationFailed as exc:
+        print("  REJECTED atomically:", exc.diagnostics[0])
+    community.settle()
+    print("  Seller still sees: order", orders["Seller"].attributes(),
+          "invoice", invoices["Seller"].attributes())
+    print("  Buyer rolled back to: order", orders["Buyer"].attributes())
+
+
+if __name__ == "__main__":
+    main()

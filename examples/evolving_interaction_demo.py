@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Evolving interaction styles (section 2, Figure 1).
+
+"Relationships between organisations may change in such a way that
+indirect interaction evolves to direct interaction."  Two organisations
+start out interacting through trusted agents (Figure 1b) — disclosing
+only selected fields — and, once enough successful exchanges have built
+confidence, they connect to each other's state directly (Figure 1a) and
+retire the agents.
+
+Run:  python examples/evolving_interaction_demo.py
+"""
+
+from repro import Community, DictB2BObject
+from repro.agents import FilterDisclosurePolicy, TrustedAgent
+
+
+def main() -> None:
+    community = Community(["Org1", "Org2", "TA1", "TA2"])
+
+    # ---- phase 1: indirect interaction through trusted agents --------
+    print("phase 1: indirect interaction (Figure 1b)")
+    inner, inner_ctrl = {}, {}
+    for org, agent in (("Org1", "TA1"), ("Org2", "TA2")):
+        replicas = {org: DictB2BObject(), agent: DictB2BObject()}
+        controllers = community.found_object(f"inner_{org}", replicas)
+        inner[org] = replicas[org]
+        inner_ctrl[org] = controllers[org]
+    outer = {agent: DictB2BObject() for agent in ("TA1", "TA2")}
+    community.found_object("outer", outer)
+    for org, agent in (("Org1", "TA1"), ("Org2", "TA2")):
+        TrustedAgent(
+            community.node(agent), f"inner_{org}", "outer",
+            policy=FilterDisclosurePolicy(
+                disclosed_keys=[f"offer_{org}"],
+            ),
+        )
+
+    controller = inner_ctrl["Org1"]
+    controller.enter()
+    controller.overwrite()
+    inner["Org1"].set_attribute("offer_Org1", "100 units at 5")
+    inner["Org1"].set_attribute("internal_margin", 0.4)  # never disclosed
+    controller.leave()
+    community.settle(5.0)
+    print("  Org2 learned:", {k: v for k, v in inner["Org2"].attributes().items()
+                              if k.startswith("offer")})
+    print("  Org2 did NOT learn internal_margin:",
+          inner["Org2"].get_attribute("internal_margin") is None)
+
+    controller = inner_ctrl["Org2"]
+    controller.enter()
+    controller.overwrite()
+    inner["Org2"].set_attribute("offer_Org2", "accepts at 5, net 30")
+    controller.leave()
+    community.settle(5.0)
+    print("  Org1 learned:", inner["Org1"].get_attribute("offer_Org2"))
+
+    # ---- phase 2: confidence established, interact directly -----------
+    print("\nphase 2: evolve to direct interaction (Figure 1a)")
+    contract = {"Org1": DictB2BObject(), "Org2": DictB2BObject()}
+    direct = community.found_object("contract", contract)
+    controller = direct["Org1"]
+    controller.enter()
+    controller.overwrite()
+    contract["Org1"].set_attribute("terms", "100 units at 5, net 30")
+    contract["Org1"].set_attribute("signed_by", ["Org1"])
+    controller.leave()
+    controller = direct["Org2"]
+    controller.enter()
+    controller.overwrite()
+    contract["Org2"].set_attribute("signed_by", ["Org1", "Org2"])
+    controller.leave()
+    community.settle(2.0)
+    print("  direct contract at Org1:", contract["Org1"].attributes())
+
+    # The agents' mediation objects are retired: each principal leaves
+    # its inner object (its agent remains the sole member).
+    for org in ("Org1", "Org2"):
+        inner_ctrl[org].disconnect()
+    community.settle(2.0)
+    print("  inner objects retired; Org1 still holds evidence of both "
+          "phases:",
+          len(community.node("Org1").ctx.evidence), "log entries")
+    community.node("Org1").ctx.evidence.verify_chain()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Figure 7: order processing with asymmetric validation rules.
+
+A customer and a supplier share the state of an order.  The customer may
+add items and quantities but not prices; the supplier may price items and
+change nothing else.  The demo then extends to the paper's four-party
+variant with an approver and a dispatcher.
+
+Run:  python examples/order_processing_demo.py
+"""
+
+from repro import Community
+from repro.apps import (
+    ROLE_APPROVER,
+    ROLE_CUSTOMER,
+    ROLE_DISPATCHER,
+    ROLE_SUPPLIER,
+    OrderClient,
+    OrderObject,
+)
+from repro.errors import ValidationFailed
+
+
+def show(order: OrderObject, owner: str) -> None:
+    print(f"  {owner}'s copy:")
+    for name, item in sorted(order.items().items()):
+        price = item["price"] if item["price"] is not None else "-"
+        approved = " approved" if item["approved"] else ""
+        print(f"    {name}: qty={item['quantity']} price={price}{approved}")
+
+
+def two_party() -> None:
+    print("=== two-party order (Figure 7) ===")
+    community = Community(["Customer", "Supplier"])
+    roles = {"Customer": ROLE_CUSTOMER, "Supplier": ROLE_SUPPLIER}
+    replicas = {name: OrderObject(roles) for name in community.names()}
+    controllers = community.found_object("order", replicas)
+    customer = OrderClient(controllers["Customer"])
+    supplier = OrderClient(controllers["Supplier"])
+
+    print("customer orders 2 widget1s")
+    customer.add_item("widget1", 2)
+    print("supplier prices widget1 at 10 per unit")
+    supplier.price_item("widget1", 10)
+    print("customer amends the order for 10 widget2s")
+    customer.add_item("widget2", 10)
+    community.settle()
+    show(replicas["Customer"], "Customer")
+
+    print("supplier attempts to price widget2 AND change its quantity...")
+    try:
+        supplier.price_and_change_quantity("widget2", 20, 5)
+    except ValidationFailed as exc:
+        print("  REJECTED:", "; ".join(exc.diagnostics))
+    community.settle()
+    show(replicas["Customer"], "Customer")
+
+
+def four_party() -> None:
+    print("\n=== four-party order (approver + dispatcher) ===")
+    names = ["Customer", "Supplier", "Approver", "Dispatcher"]
+    community = Community(names)
+    roles = {"Customer": ROLE_CUSTOMER, "Supplier": ROLE_SUPPLIER,
+             "Approver": ROLE_APPROVER, "Dispatcher": ROLE_DISPATCHER}
+    replicas = {name: OrderObject(roles) for name in names}
+    controllers = community.found_object("order", replicas)
+    clients = {name: OrderClient(controllers[name]) for name in names}
+
+    clients["Customer"].add_item("widget1", 3)
+    clients["Supplier"].price_item("widget1", 30)
+    clients["Approver"].approve_item("widget1")
+    clients["Dispatcher"].commit_delivery("within 48h")
+    community.settle()
+    show(replicas["Dispatcher"], "Dispatcher")
+    delivery = replicas["Customer"].get_state()["delivery"]
+    print(f"  delivery terms agreed by all four parties: {delivery['terms']}")
+
+    print("dispatcher attempts to change a quantity (outside its role)...")
+    try:
+        clients["Dispatcher"].change_quantity("widget1", 5)
+    except ValidationFailed as exc:
+        print("  REJECTED:", exc.diagnostics[0])
+
+
+def main() -> None:
+    two_party()
+    four_party()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scenario 2 (section 2): dispersal of operational support to the customer.
+
+A telecom provider and its customer share a service record.  The customer
+now controls the aspects that logically belong to it (QoS tailoring,
+endpoints, fault tickets) while the provider keeps provisioning — and
+neither side can cross the line unnoticed.
+
+The demo runs over the store-and-forward (MOM) transport from section 7's
+future work: the customer goes offline mid-interaction and the exchange
+completes when it re-attaches.
+
+Run:  python examples/oss_dispersal_demo.py
+"""
+
+from repro.apps.oss import (
+    ROLE_CUSTOMER,
+    ROLE_PROVIDER,
+    ServiceClient,
+    ServiceObject,
+    new_service,
+)
+from repro.core import DEFERRED_SYNCHRONOUS, Community, SimRuntime
+from repro.errors import ValidationFailed
+from repro.transport.mom import BrokeredSimNetwork
+
+
+def main() -> None:
+    network = BrokeredSimNetwork(seed=7)
+    community = Community(["Telco", "Acme"],
+                          runtime=SimRuntime(network=network))
+    roles = {"Telco": ROLE_PROVIDER, "Acme": ROLE_CUSTOMER}
+    replicas = {
+        name: ServiceObject(roles, state=new_service(capacity_mbps=100,
+                                                     purchased_tier="silver"))
+        for name in community.names()
+    }
+    controllers = community.found_object("service", replicas)
+    telco = ServiceClient(controllers["Telco"])
+    acme = ServiceClient(controllers["Acme"])
+
+    print("Acme tailors its own service (QoS + endpoints):")
+    acme.set_qos_class("silver")
+    acme.set_endpoints(["london-01", "leeds-02"])
+    community.settle(2.0)
+    print("  Telco sees configuration:", replicas["Telco"].configuration)
+
+    print("\nAcme tries to exceed its purchased tier...")
+    try:
+        acme.set_qos_class("platinum")
+    except ValidationFailed as exc:
+        print("  VETOED by Telco:", exc.diagnostics[0])
+
+    print("\nTelco tries to quietly change Acme's endpoints...")
+    try:
+        telco.set_endpoints(["telco-managed-only"])
+    except ValidationFailed as exc:
+        print("  VETOED by Acme:", exc.diagnostics[0])
+
+    print("\nFault handling — the dispersed workflow:")
+    acme.open_ticket("T100", "packet loss on london-01")
+    telco.acknowledge_ticket("T100")
+    telco.resolve_ticket("T100")
+    community.settle(2.0)
+    print("  ticket T100 at Acme:", replicas["Acme"].ticket("T100"))
+
+    print("\nAcme goes offline (store-and-forward transport)...")
+    network.detach("Acme")
+    controllers["Telco"].mode = DEFERRED_SYNCHRONOUS
+    ticket = telco.set_capacity(200)  # provisioning upgrade while Acme is away
+    community.settle(2.0)
+    print(f"  capacity change pending, {network.mailbox_depth('Acme')} "
+          "messages queued at the broker")
+    print("Acme re-attaches...")
+    network.attach("Acme")
+    community.settle(5.0)
+    controllers["Telco"].coord_commit(ticket)
+    print("  Acme's replica now shows capacity:",
+          replicas["Acme"].provisioning["capacity_mbps"], "Mbps")
+
+    print("\nAcme confirms the fix and closes the ticket:")
+    acme.close_ticket("T100")
+    community.settle(2.0)
+    print("  ticket T100 at Telco:", replicas["Telco"].ticket("T100"))
+
+    for name in community.names():
+        entries = community.node(name).ctx.evidence.verify_chain()
+        print(f"  {name}: evidence chain intact ({entries} entries)")
+
+
+if __name__ == "__main__":
+    main()

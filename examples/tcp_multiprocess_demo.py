@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Two real processes sharing an object over TCP.
+
+Unlike ``tcp_two_processes.py`` (two organisations inside one process),
+this demo forks a child Python process: the parent hosts OrgA, the child
+hosts OrgB, and the only channel between them is loopback TCP.  The
+parent plays the community CA: it generates both key pairs and
+certificates and hands the child its bootstrap (its private key, both
+certificates, the peer's address) as JSON on the command line's file.
+
+Flow: OrgA proposes a price-list update (validated by OrgB in the other
+process), then proposes an invalid one and receives the veto across the
+process boundary.
+
+Run:  python examples/tcp_multiprocess_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.core import Community  # noqa: F401 (documentation pointer)
+from repro.core.node import OrganisationNode
+from repro.core.runtime import ThreadedRuntime
+from repro.core.object import DictB2BObject
+from repro.crypto.certificates import Certificate, CertificateAuthority, CertificateStore
+from repro.crypto.rsa import RsaPrivateKey
+from repro.crypto.signature import KeyPair, generate_party_keypair
+from repro.errors import ValidationFailed
+from repro.protocol.context import PartyContext
+from repro.protocol.validation import Decision
+
+OBJECT_NAME = "pricelist"
+MEMBERS = ["OrgA", "OrgB"]
+
+
+class PricedOrder(DictB2BObject):
+    def validate_state(self, proposed, current, proposer):
+        for name, price in proposed.items():
+            if not isinstance(price, int) or price <= 0:
+                return Decision.reject(f"{name}: price must be positive")
+        return Decision.accept()
+
+
+def _key_to_dict(keypair: KeyPair) -> dict:
+    key = keypair.private_key
+    return {"n": key.modulus, "e": key.public_exponent,
+            "d": key.private_exponent, "p": key.prime_p, "q": key.prime_q}
+
+
+def _key_from_dict(party_id: str, data: dict) -> KeyPair:
+    return KeyPair(party_id, RsaPrivateKey(
+        modulus=data["n"], public_exponent=data["e"],
+        private_exponent=data["d"], prime_p=data["p"], prime_q=data["q"],
+    ))
+
+
+def build_node(party_id: str, keypair: KeyPair, ca_public: dict,
+               certificates: "list[dict]", runtime: ThreadedRuntime,
+               peers: "dict[str, list]") -> OrganisationNode:
+    """Assemble one organisation's node from bootstrap material."""
+    from repro.crypto.signature import verifier_for_public_key
+
+    store = CertificateStore()
+    store.trust_authority("CA", verifier_for_public_key(ca_public))
+    own_certificate = None
+    for raw in certificates:
+        certificate = _cert_from_json(raw)
+        store.add_certificate(certificate)
+        if certificate.subject == party_id:
+            own_certificate = certificate
+    ctx = PartyContext(
+        party_id=party_id,
+        signer=keypair.signer(),
+        resolver=store.verifier_for,
+        tsa=None,  # demo runs without a shared time-stamping service
+    )
+    node = OrganisationNode(
+        ctx, runtime,
+        certificate=own_certificate.to_dict() if own_certificate else None,
+        retransmit_interval=0.2,
+    )
+    for peer, (host, port) in peers.items():
+        runtime.network.add_remote_party(peer, host, port)
+    return node
+
+
+def _cert_to_json(certificate: Certificate) -> dict:
+    data = certificate.to_dict()
+    data["signature"]["value"] = data["signature"]["value"].hex()
+    return data
+
+
+def _cert_from_json(data: dict) -> Certificate:
+    data = json.loads(json.dumps(data))  # deep copy
+    data["signature"]["value"] = bytes.fromhex(data["signature"]["value"])
+    return Certificate.from_dict(data)
+
+
+def run_child(bootstrap_path: str) -> None:
+    with open(bootstrap_path, encoding="utf-8") as handle:
+        bootstrap = json.load(handle)
+    runtime = ThreadedRuntime()
+    try:
+        keypair = _key_from_dict("OrgB", bootstrap["private_key"])
+        node = build_node(
+            "OrgB", keypair, bootstrap["ca_public"],
+            bootstrap["certificates"], runtime,
+            peers={"OrgA": bootstrap["orga_address"]},
+        )
+        # The node's endpoint already registered a listener; report its
+        # ephemeral address back to the parent.
+        host, port = runtime.network.address_of("OrgB")
+        print(f"CHILD-LISTENING {host} {port}", flush=True)
+        node.register_object(OBJECT_NAME, PricedOrder(), MEMBERS)
+        print("CHILD-READY", flush=True)
+        deadline = time.time() + float(bootstrap.get("lifetime", 15))
+        while time.time() < deadline:
+            time.sleep(0.1)
+    finally:
+        runtime.close()
+
+
+def run_parent() -> None:
+    ca = CertificateAuthority("CA")
+    key_a = generate_party_keypair("OrgA")
+    key_b = generate_party_keypair("OrgB")
+    cert_a = ca.issue("OrgA", key_a.public_key)
+    cert_b = ca.issue("OrgB", key_b.public_key)
+    certificates = [_cert_to_json(cert_a), _cert_to_json(cert_b)]
+
+    runtime = ThreadedRuntime()
+    child = None
+    try:
+        node_a = build_node("OrgA", key_a, ca.public_key, certificates,
+                            runtime, peers={})
+        orga_address = list(runtime.network.address_of("OrgA"))
+        print(f"parent: OrgA listening on {orga_address}")
+
+        bootstrap = {
+            "private_key": _key_to_dict(key_b),
+            "ca_public": ca.public_key,
+            "certificates": certificates,
+            "orga_address": orga_address,
+            "lifetime": 20,
+        }
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as handle:
+            json.dump(bootstrap, handle)
+            bootstrap_path = handle.name
+
+        child = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__), "--child",
+             bootstrap_path],
+            stdout=subprocess.PIPE, text=True,
+        )
+        child_port = None
+        for line in child.stdout:  # type: ignore[union-attr]
+            line = line.strip()
+            if line.startswith("CHILD-LISTENING"):
+                _, host, port = line.split()
+                child_port = int(port)
+                runtime.network.add_remote_party("OrgB", host, child_port)
+            if line == "CHILD-READY":
+                break
+        print(f"parent: child process (OrgB) ready on port {child_port}")
+
+        replica = PricedOrder()
+        controller = node_a.register_object(OBJECT_NAME, replica, MEMBERS,
+                                            timeout=10.0)
+
+        print("parent: proposing {widget: 25} ...")
+        controller.enter()
+        controller.overwrite()
+        replica.set_attribute("widget", 25)
+        controller.leave()
+        print("parent: agreed across processes:", controller.agreed_state())
+
+        print("parent: proposing an invalid price {gadget: -1} ...")
+        controller.enter()
+        controller.overwrite()
+        replica.set_attribute("gadget", -1)
+        try:
+            controller.leave()
+        except ValidationFailed as exc:
+            print("parent: vetoed by the child process:",
+                  exc.diagnostics[0])
+        assert replica.get_attribute("gadget") is None
+        print("parent: evidence log entries:", len(node_a.ctx.evidence))
+        print("OK: cross-process coordination demo complete")
+    finally:
+        runtime.close()
+        if child is not None:
+            child.terminate()
+            child.wait(timeout=5)
+        try:
+            os.unlink(bootstrap_path)
+        except (OSError, NameError):
+            pass
+
+
+def main() -> None:
+    if len(sys.argv) >= 3 and sys.argv[1] == "--child":
+        run_child(sys.argv[2])
+    else:
+        run_parent()
+
+
+if __name__ == "__main__":
+    main()

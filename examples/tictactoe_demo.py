@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Figure 5: two-party Tic-Tac-Toe with a cheat attempt.
+
+Replays the exact game of the paper's screenshot.  Cross and Nought each
+run a server holding a replica of the game object; every move is a state
+change validated by the opponent's replica.  Cross's final attempt to
+mark a square with the opponent's symbol is vetoed, never reaches
+Nought's board, and leaves evidence.
+
+Run:  python examples/tictactoe_demo.py
+"""
+
+from repro import Community
+from repro.apps import CROSS, NOUGHT, TicTacToeObject, TicTacToePlayer
+from repro.errors import ValidationFailed
+
+
+def render(board) -> str:
+    return "\n".join(
+        " ".join(cell or "." for cell in board[row * 3:(row + 1) * 3])
+        for row in range(3)
+    )
+
+
+def main() -> None:
+    community = Community(["Cross", "Nought"])
+    players = {"Cross": CROSS, "Nought": NOUGHT}
+    replicas = {name: TicTacToeObject(players) for name in community.names()}
+    controllers = community.found_object("game", replicas)
+    cross = TicTacToePlayer(controllers["Cross"], CROSS)
+    nought = TicTacToePlayer(controllers["Nought"], NOUGHT)
+
+    print("Cross claims middle row, centre square")
+    cross.save_move(4)
+    print("Nought claims top row, left square")
+    nought.save_move(0)
+    print("Cross claims middle row, right square")
+    cross.save_move(5)
+    community.settle()
+    print("\nagreed board:\n" + render(replicas["Nought"].board))
+
+    print("\nCross attempts to mark bottom row, centre square with a zero...")
+    try:
+        cross.save_move(7, mark=NOUGHT)
+    except ValidationFailed as exc:
+        print("  VETOED:", "; ".join(exc.diagnostics))
+    community.settle()
+
+    print("\nboard at Nought's server (cheat not reflected):")
+    print(render(replicas["Nought"].board))
+    assert replicas["Nought"].board[7] == ""
+
+    # Nought holds non-repudiable evidence of the attempt to cheat.
+    log = community.node("Nought").ctx.evidence
+    vetoes = [entry for entry in log.entries("authenticated-decision")
+              if not entry.payload["valid"]]
+    print(f"\nNought's evidence of the attempt: {len(vetoes)} "
+          "vetoed decision bundle(s); Cross forfeits the game.")
+
+
+if __name__ == "__main__":
+    main()

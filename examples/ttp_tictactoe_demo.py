@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Figure 6: Tic-Tac-Toe played through a trusted third party.
+
+Each player shares a two-party game object with the TTP instead of with
+the opponent.  The TTP validates every move before relaying it, so an
+invalid move is never disclosed to the other player — the "conditional
+state disclosure" of the indirect interaction style (Figure 1b).
+
+Run:  python examples/ttp_tictactoe_demo.py
+"""
+
+from repro import Community
+from repro.agents import ValidatingTTP
+from repro.apps import CROSS, NOUGHT, TicTacToeObject, TicTacToePlayer
+from repro.errors import ValidationFailed
+
+
+def render(board) -> str:
+    return "\n".join(
+        " ".join(cell or "." for cell in board[row * 3:(row + 1) * 3])
+        for row in range(3)
+    )
+
+
+def main() -> None:
+    community = Community(["Cross", "Nought", "TTP"])
+    players = {"Cross": CROSS, "Nought": NOUGHT}
+
+    # Two independent two-party objects, both including the TTP.
+    side_cross = {name: TicTacToeObject(players) for name in ["Cross", "TTP"]}
+    side_nought = {name: TicTacToeObject(players) for name in ["TTP", "Nought"]}
+    ctrl_cross = community.found_object("game_c", side_cross)
+    ctrl_nought = community.found_object("game_n", side_nought)
+
+    # The TTP relays validated state between the two sides.
+    ttp = ValidatingTTP(community.node("TTP"), ["game_c", "game_n"])
+
+    cross = TicTacToePlayer(ctrl_cross["Cross"], CROSS)
+    nought = TicTacToePlayer(ctrl_nought["Nought"], NOUGHT)
+
+    print("Cross plays centre (via the TTP)")
+    cross.save_move(4)
+    community.settle()
+    print("Nought's board now shows:\n" + render(side_nought["Nought"].board))
+
+    print("\nNought plays top-left (via the TTP)")
+    nought.save_move(0)
+    community.settle()
+    print("Cross's board now shows:\n" + render(side_cross["Cross"].board))
+
+    print("\nCross attempts to overwrite the top-left square...")
+    try:
+        cross.save_move(0)
+    except ValidationFailed as exc:
+        print("  vetoed at the TTP:", exc.diagnostics[0])
+    community.settle()
+    print("Nought never saw the attempt; its board is unchanged:")
+    print(render(side_nought["Nought"].board))
+    print(f"\nmoves relayed by the TTP: {ttp.relayed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Indirect interaction: trusted agents and TTP validation services."""
+
+from repro.agents.relay import StateRelay
+from repro.agents.trusted_agent import (
+    DisclosurePolicy,
+    FilterDisclosurePolicy,
+    TrustedAgent,
+)
+from repro.agents.ttp import ValidatingTTP
+
+__all__ = [
+    "StateRelay",
+    "DisclosurePolicy",
+    "FilterDisclosurePolicy",
+    "TrustedAgent",
+    "ValidatingTTP",
+]

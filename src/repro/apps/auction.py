@@ -1,0 +1,170 @@
+"""Distributed auction service (section 2, scenario 3).
+
+"Autonomous, geographically dispersed auction houses wish to collaborate
+to deliver a trusted, distributed auction service to their clients ...
+The clients act upon the state of an auction through servers that are
+controlled by the auction houses.  These servers share and update auction
+state.  The clients expect the service to guarantee the same chance of a
+successful outcome irrespective of which individual server is used."
+
+The auction object encodes symmetric rules every house enforces on every
+other house: bids must strictly exceed the current highest (and meet the
+reserve), no bids after close, and the recorded winner must match the
+bid history.  Because every state change is unanimously validated and
+non-repudiably logged, no house can favour its own clients undetected.
+
+Auction state::
+
+    {"item": str, "reserve": int, "open": bool,
+     "highest": {"bidder": str, "amount": int, "house": str} | None,
+     "bids": int, "winner": {"bidder": str, "amount": int} | None}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.controller import B2BObjectController
+from repro.core.object import B2BObject
+from repro.errors import RuleViolation
+from repro.protocol.validation import Decision
+
+
+def new_auction(item: str, reserve: int = 0) -> dict:
+    return {
+        "item": item,
+        "reserve": int(reserve),
+        "open": True,
+        "highest": None,
+        "bids": 0,
+        "winner": None,
+    }
+
+
+def validate_transition(current: dict, proposed: dict) -> "tuple[bool, str]":
+    """Symmetric auction rules applied by every house to every change."""
+    if proposed.get("item") != current.get("item") \
+            or proposed.get("reserve") != current.get("reserve"):
+        return False, "item and reserve are immutable"
+    if not current.get("open"):
+        return False, "the auction is closed"
+    if proposed.get("open"):
+        # A bid: exactly one more bid, strictly higher, reserve met.
+        if proposed.get("bids") != current.get("bids", 0) + 1:
+            return False, "a change to an open auction must add exactly one bid"
+        highest = proposed.get("highest")
+        if not isinstance(highest, dict):
+            return False, "bid missing highest record"
+        amount = highest.get("amount")
+        if not isinstance(amount, int) or amount < current.get("reserve", 0):
+            return False, "bid does not meet the reserve"
+        previous = current.get("highest")
+        if previous is not None and amount <= previous.get("amount", 0):
+            return False, (
+                f"bid {amount} does not exceed current highest "
+                f"{previous.get('amount')}"
+            )
+        if proposed.get("winner") is not None:
+            return False, "an open auction has no winner"
+        return True, ""
+    # A close: bid history unchanged, winner consistent with highest.
+    if proposed.get("bids") != current.get("bids", 0) \
+            or proposed.get("highest") != current.get("highest"):
+        return False, "closing must not alter the bid history"
+    highest = current.get("highest")
+    expected_winner = (
+        {"bidder": highest["bidder"], "amount": highest["amount"]}
+        if highest is not None else None
+    )
+    if proposed.get("winner") != expected_winner:
+        return False, "winner must be the highest bidder at close"
+    return True, ""
+
+
+class AuctionObject(B2BObject):
+    """The shared auction state with house-symmetric validation."""
+
+    def __init__(self, state: "dict | None" = None,
+                 item: str = "lot-1", reserve: int = 0) -> None:
+        super().__init__()
+        self._state = dict(state) if state is not None else new_auction(item, reserve)
+
+    def get_state(self) -> dict:
+        state = dict(self._state)
+        if state.get("highest") is not None:
+            state["highest"] = dict(state["highest"])
+        if state.get("winner") is not None:
+            state["winner"] = dict(state["winner"])
+        return state
+
+    def apply_state(self, state: Any) -> None:
+        self._state = dict(state)
+
+    def validate_state(self, proposed: Any, current: Any, proposer: str) -> Decision:
+        ok, diagnostic = validate_transition(current or {}, proposed or {})
+        if not ok:
+            return Decision.reject(diagnostic)
+        highest = (proposed or {}).get("highest")
+        if (proposed or {}).get("open") and isinstance(highest, dict):
+            if highest.get("house") != proposer:
+                return Decision.reject(
+                    "a house may only submit bids placed through itself"
+                )
+        return Decision.accept()
+
+    # -- local accessors --------------------------------------------------
+
+    @property
+    def highest(self) -> "Optional[dict]":
+        highest = self._state.get("highest")
+        return dict(highest) if highest else None
+
+    @property
+    def is_open(self) -> bool:
+        return bool(self._state.get("open"))
+
+    @property
+    def winner(self) -> "Optional[dict]":
+        winner = self._state.get("winner")
+        return dict(winner) if winner else None
+
+
+class AuctionHouse:
+    """One house's server-side operations on the shared auction."""
+
+    def __init__(self, controller: B2BObjectController) -> None:
+        self.controller = controller
+        self.auction: AuctionObject = controller.b2b_object  # type: ignore[assignment]
+
+    @property
+    def house_id(self) -> str:
+        return self.controller.node.party_id
+
+    def place_bid(self, bidder: str, amount: int):
+        """Submit a client's bid for multi-house validation."""
+        if not isinstance(amount, int) or amount <= 0:
+            raise RuleViolation("bid amount must be a positive integer")
+        controller = self.controller
+        controller.enter()
+        controller.overwrite()
+        state = self.auction.get_state()
+        state["highest"] = {"bidder": bidder, "amount": amount,
+                            "house": self.house_id}
+        state["bids"] = state.get("bids", 0) + 1
+        self.auction.apply_state(state)
+        return controller.leave()
+
+    def close_auction(self):
+        """Close the auction; the highest bidder wins."""
+        controller = self.controller
+        controller.enter()
+        controller.overwrite()
+        state = self.auction.get_state()
+        state["open"] = False
+        highest = state.get("highest")
+        state["winner"] = (
+            {"bidder": highest["bidder"], "amount": highest["amount"]}
+            if highest else None
+        )
+        self.auction.apply_state(state)
+        return controller.leave()

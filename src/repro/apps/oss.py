@@ -1,0 +1,307 @@
+"""Dispersed operational support (section 2, scenario 2).
+
+"In the telecommunications industry, Operational Support Systems (OSS)
+manage service configuration and fault-handling on the customer's behalf
+... the customer needs to be able to tailor their complete service.  This
+requires the 'dispersal of OSS' so that the customer controls the aspects
+that logically belong to them."
+
+The shared object is a telecom service record with three regions:
+
+* ``provisioning`` — infrastructure facts owned by the **provider**
+  (capacity, maintenance windows);
+* ``configuration`` — service tailoring owned by the **customer**
+  (QoS class within the purchased tier, endpoints, alert contact);
+* ``tickets`` — fault handling shared under a state machine: the customer
+  opens tickets and confirms closure; the provider acknowledges and
+  resolves them.
+
+Every change is validated by both organisations, so the provider can no
+longer silently reconfigure the customer's service and the customer
+cannot exceed what was purchased — with evidence either way.
+
+State::
+
+    {"provisioning": {"capacity_mbps": int, "maintenance_window": str},
+     "configuration": {"qos_class": str, "endpoints": [str],
+                        "alert_contact": str},
+     "tickets": {id: {"summary": str, "status": str, "opened_by": str}}}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.controller import B2BObjectController
+from repro.core.object import B2BObject
+from repro.errors import RuleViolation
+from repro.protocol.validation import Decision
+
+ROLE_PROVIDER = "provider"
+ROLE_CUSTOMER = "customer"
+
+QOS_TIERS = ["bronze", "silver", "gold", "platinum"]
+
+TICKET_OPEN = "open"
+TICKET_ACKNOWLEDGED = "acknowledged"
+TICKET_RESOLVED = "resolved"
+TICKET_CLOSED = "closed"
+
+# who may drive which ticket transition
+_TICKET_TRANSITIONS = {
+    (TICKET_OPEN, TICKET_ACKNOWLEDGED): ROLE_PROVIDER,
+    (TICKET_ACKNOWLEDGED, TICKET_RESOLVED): ROLE_PROVIDER,
+    (TICKET_RESOLVED, TICKET_CLOSED): ROLE_CUSTOMER,
+    (TICKET_RESOLVED, TICKET_OPEN): ROLE_CUSTOMER,  # re-open if not fixed
+}
+
+
+def new_service(capacity_mbps: int = 100, purchased_tier: str = "silver") -> dict:
+    if purchased_tier not in QOS_TIERS:
+        raise RuleViolation(f"unknown tier {purchased_tier!r}")
+    return {
+        "provisioning": {
+            "capacity_mbps": int(capacity_mbps),
+            "maintenance_window": "sun-02:00",
+            "purchased_tier": purchased_tier,
+        },
+        "configuration": {
+            "qos_class": "bronze",
+            "endpoints": [],
+            "alert_contact": "",
+        },
+        "tickets": {},
+    }
+
+
+def _tier_index(tier: str) -> int:
+    try:
+        return QOS_TIERS.index(tier)
+    except ValueError:
+        return -1
+
+
+def diff_service(current: dict, proposed: dict) -> "list[str]":
+    """Field-level change tags, mirroring :func:`repro.apps.orders.diff_orders`."""
+    changes: "list[str]" = []
+    for field in current.get("provisioning", {}):
+        if (current["provisioning"].get(field)
+                != proposed.get("provisioning", {}).get(field)):
+            changes.append(f"provisioning:{field}")
+    for field in current.get("configuration", {}):
+        if (current["configuration"].get(field)
+                != proposed.get("configuration", {}).get(field)):
+            changes.append(f"configuration:{field}")
+    old_tickets = current.get("tickets", {})
+    new_tickets = proposed.get("tickets", {})
+    for ticket_id in new_tickets:
+        if ticket_id not in old_tickets:
+            changes.append(f"ticket-open:{ticket_id}")
+        elif old_tickets[ticket_id] != new_tickets[ticket_id]:
+            changes.append(f"ticket-update:{ticket_id}")
+    for ticket_id in old_tickets:
+        if ticket_id not in new_tickets:
+            changes.append(f"ticket-delete:{ticket_id}")
+    return changes
+
+
+class ServiceObject(B2BObject):
+    """The dispersed-OSS service record with two-sided validation."""
+
+    def __init__(self, roles: "dict[str, str]",
+                 state: "dict | None" = None) -> None:
+        super().__init__()
+        for org, role in roles.items():
+            if role not in (ROLE_PROVIDER, ROLE_CUSTOMER):
+                raise RuleViolation(f"unknown role {role!r} for {org!r}")
+        self.roles = dict(roles)
+        self._state = state if state is not None else new_service()
+
+    def get_state(self) -> dict:
+        return {
+            "provisioning": dict(self._state["provisioning"]),
+            "configuration": {
+                "qos_class": self._state["configuration"]["qos_class"],
+                "endpoints": list(self._state["configuration"]["endpoints"]),
+                "alert_contact": self._state["configuration"]["alert_contact"],
+            },
+            "tickets": {tid: dict(t)
+                        for tid, t in self._state["tickets"].items()},
+        }
+
+    def apply_state(self, state: Any) -> None:
+        self._state = {
+            "provisioning": dict(state["provisioning"]),
+            "configuration": dict(state["configuration"]),
+            "tickets": {tid: dict(t)
+                        for tid, t in state.get("tickets", {}).items()},
+        }
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate_state(self, proposed: Any, current: Any, proposer: str) -> Decision:
+        role = self.roles.get(proposer)
+        if role is None:
+            return Decision.reject(f"{proposer} has no role on this service")
+        current = current or new_service()
+        diagnostics: "list[str]" = []
+        for change in diff_service(current, proposed or {}):
+            kind, _, subject = change.partition(":")
+            if kind == "provisioning" and role != ROLE_PROVIDER:
+                diagnostics.append(f"{role} may not change provisioning field "
+                                   f"{subject!r}")
+            elif kind == "configuration" and role != ROLE_CUSTOMER:
+                diagnostics.append(f"{role} may not tailor configuration field "
+                                   f"{subject!r}")
+            elif kind == "ticket-delete":
+                diagnostics.append("fault tickets are never deleted")
+            elif kind == "ticket-open":
+                ticket = proposed["tickets"][subject]
+                if role != ROLE_CUSTOMER:
+                    diagnostics.append("only the customer opens fault tickets")
+                elif ticket.get("status") != TICKET_OPEN:
+                    diagnostics.append("new tickets must start open")
+                elif ticket.get("opened_by") != proposer:
+                    diagnostics.append("ticket must record its opener")
+            elif kind == "ticket-update":
+                diagnostics.extend(self._check_ticket_transition(
+                    current["tickets"][subject], proposed["tickets"][subject],
+                    role,
+                ))
+        if not diagnostics:
+            diagnostics.extend(self._check_configuration_bounds(proposed))
+        if diagnostics:
+            return Decision.reject(*diagnostics)
+        return Decision.accept()
+
+    @staticmethod
+    def _check_ticket_transition(old: dict, new: dict,
+                                 role: str) -> "list[str]":
+        if old.get("summary") != new.get("summary") \
+                or old.get("opened_by") != new.get("opened_by"):
+            return ["only a ticket's status may change"]
+        transition = (old.get("status"), new.get("status"))
+        allowed_role = _TICKET_TRANSITIONS.get(transition)
+        if allowed_role is None:
+            return [f"illegal ticket transition {transition[0]} -> {transition[1]}"]
+        if allowed_role != role:
+            return [f"only the {allowed_role} may move a ticket "
+                    f"{transition[0]} -> {transition[1]}"]
+        return []
+
+    @staticmethod
+    def _check_configuration_bounds(proposed: dict) -> "list[str]":
+        configuration = (proposed or {}).get("configuration", {})
+        provisioning = (proposed or {}).get("provisioning", {})
+        qos = configuration.get("qos_class", "bronze")
+        purchased = provisioning.get("purchased_tier", "bronze")
+        if _tier_index(qos) < 0:
+            return [f"unknown QoS class {qos!r}"]
+        if _tier_index(qos) > _tier_index(purchased):
+            return [f"QoS class {qos!r} exceeds the purchased tier "
+                    f"{purchased!r}"]
+        endpoints = configuration.get("endpoints", [])
+        if not isinstance(endpoints, list) or len(endpoints) > 16:
+            return ["at most 16 service endpoints"]
+        return []
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def ticket(self, ticket_id: str) -> "Optional[dict]":
+        ticket = self._state["tickets"].get(ticket_id)
+        return dict(ticket) if ticket else None
+
+    @property
+    def configuration(self) -> dict:
+        return dict(self._state["configuration"])
+
+    @property
+    def provisioning(self) -> dict:
+        return dict(self._state["provisioning"])
+
+
+class ServiceClient:
+    """Role-specific operations over a shared service record."""
+
+    def __init__(self, controller: B2BObjectController) -> None:
+        self.controller = controller
+        self.service: ServiceObject = controller.b2b_object  # type: ignore[assignment]
+
+    def _mutate(self, mutate) -> Any:
+        controller = self.controller
+        controller.enter()
+        controller.overwrite()
+        try:
+            state = self.service.get_state()
+            mutate(state)
+            self.service.apply_state(state)
+        except Exception:
+            # Unwind the scope as a read so no state change is proposed.
+            controller._access = None
+            controller.leave()
+            raise
+        return controller.leave()
+
+    # customer --------------------------------------------------------
+
+    def set_qos_class(self, qos_class: str):
+        return self._mutate(
+            lambda state: state["configuration"].update(qos_class=qos_class)
+        )
+
+    def set_endpoints(self, endpoints: "list[str]"):
+        return self._mutate(
+            lambda state: state["configuration"].update(endpoints=list(endpoints))
+        )
+
+    def set_alert_contact(self, contact: str):
+        return self._mutate(
+            lambda state: state["configuration"].update(alert_contact=contact)
+        )
+
+    def open_ticket(self, ticket_id: str, summary: str):
+        owner = self.controller.node.party_id
+
+        def mutate(state: dict) -> None:
+            if ticket_id in state["tickets"]:
+                raise RuleViolation(f"ticket {ticket_id!r} already exists")
+            state["tickets"][ticket_id] = {
+                "summary": summary, "status": TICKET_OPEN, "opened_by": owner,
+            }
+        return self._mutate(mutate)
+
+    def close_ticket(self, ticket_id: str):
+        return self._set_ticket_status(ticket_id, TICKET_CLOSED)
+
+    def reopen_ticket(self, ticket_id: str):
+        return self._set_ticket_status(ticket_id, TICKET_OPEN)
+
+    # provider ----------------------------------------------------------
+
+    def set_capacity(self, capacity_mbps: int):
+        return self._mutate(
+            lambda state: state["provisioning"].update(
+                capacity_mbps=int(capacity_mbps))
+        )
+
+    def set_maintenance_window(self, window: str):
+        return self._mutate(
+            lambda state: state["provisioning"].update(maintenance_window=window)
+        )
+
+    def acknowledge_ticket(self, ticket_id: str):
+        return self._set_ticket_status(ticket_id, TICKET_ACKNOWLEDGED)
+
+    def resolve_ticket(self, ticket_id: str):
+        return self._set_ticket_status(ticket_id, TICKET_RESOLVED)
+
+    def _set_ticket_status(self, ticket_id: str, status: str):
+        def mutate(state: dict) -> None:
+            if ticket_id not in state["tickets"]:
+                raise RuleViolation(f"no ticket {ticket_id!r}")
+            state["tickets"][ticket_id]["status"] = status
+        return self._mutate(mutate)

@@ -1,0 +1,189 @@
+"""Tic-Tac-Toe (section 5.1, Figures 5 and 6).
+
+"An object that implements the B2BObject interface represents the state
+of the game and encapsulates the rules.  Servers representing each player
+share the object and coordinate the object state."  The rules are
+symmetric and turn-taking: a player claims a vacant square with their own
+mark only, on their own turn, and cannot overwrite claimed squares.
+
+The state is ``{"board": [9 x "" | "X" | "O"], "next": "X" | "O",
+"winner": "" | "X" | "O" | "draw"}``.  A proposed state is valid iff it
+is a *legal successor* of the current state for the proposing player —
+attempting anything else (e.g. Cross pre-emptively marking a square with
+a zero, as in Figure 5) is vetoed by the opponent's replica and the
+cheater forfeits credibility, with evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.controller import B2BObjectController
+from repro.core.object import B2BObject
+from repro.errors import RuleViolation
+from repro.protocol.validation import Decision
+
+CROSS = "X"
+NOUGHT = "O"
+EMPTY = ""
+DRAW = "draw"
+
+_LINES = [
+    (0, 1, 2), (3, 4, 5), (6, 7, 8),  # rows
+    (0, 3, 6), (1, 4, 7), (2, 5, 8),  # columns
+    (0, 4, 8), (2, 4, 6),  # diagonals
+]
+
+
+def initial_board() -> dict:
+    """A fresh game; Cross traditionally moves first."""
+    return {"board": [EMPTY] * 9, "next": CROSS, "winner": EMPTY}
+
+
+def winner_of(board: "list[str]") -> str:
+    """Compute the game outcome for a board: X, O, draw, or '' (open)."""
+    for a, b, c in _LINES:
+        if board[a] != EMPTY and board[a] == board[b] == board[c]:
+            return board[a]
+    if all(cell != EMPTY for cell in board):
+        return DRAW
+    return EMPTY
+
+
+def legal_successor(current: dict, proposed: dict) -> "tuple[bool, str]":
+    """Check that *proposed* follows from *current* by one legal move.
+
+    Returns ``(ok, diagnostic)``; the move's mark must be the
+    to-move player's, exactly one previously vacant square changes, and
+    the turn/winner bookkeeping must be updated correctly.
+    """
+    if current.get("winner"):
+        return False, "the game is already over"
+    old = current.get("board")
+    new = proposed.get("board")
+    if (not isinstance(old, list) or not isinstance(new, list)
+            or len(old) != 9 or len(new) != 9):
+        return False, "malformed board"
+    changes = [i for i in range(9) if old[i] != new[i]]
+    if len(changes) != 1:
+        return False, f"exactly one square must change (changed: {changes})"
+    cell = changes[0]
+    if old[cell] != EMPTY:
+        return False, f"square {cell} is already claimed"
+    mark = new[cell]
+    mover = current.get("next")
+    if mark != mover:
+        return False, f"it is {mover}'s turn and only {mover} marks may be placed"
+    expected_winner = winner_of(new)
+    if proposed.get("winner", EMPTY) != expected_winner:
+        return False, "winner field is inconsistent with the board"
+    expected_next = NOUGHT if mover == CROSS else CROSS
+    if proposed.get("next") != expected_next:
+        return False, "turn must pass to the opponent"
+    return True, ""
+
+
+class TicTacToeObject(B2BObject):
+    """The shared game object: state + encoded rules.
+
+    *players* maps organisation ids to marks, e.g.
+    ``{"Cross": "X", "Nought": "O"}``.  A proposer that is a player may
+    only place its own mark; organisations not in the map (a TTP
+    relaying already-validated moves, Figure 6) may propose any legal
+    successor.
+    """
+
+    def __init__(self, players: "dict[str, str] | None" = None,
+                 state: "dict | None" = None) -> None:
+        super().__init__()
+        self.players = dict(players or {})
+        self._state = dict(state) if state is not None else initial_board()
+
+    def get_state(self) -> dict:
+        return {
+            "board": list(self._state["board"]),
+            "next": self._state["next"],
+            "winner": self._state["winner"],
+        }
+
+    def apply_state(self, state: Any) -> None:
+        self._state = {
+            "board": list(state["board"]),
+            "next": state["next"],
+            "winner": state["winner"],
+        }
+
+    def validate_state(self, proposed: Any, current: Any, proposer: str) -> Decision:
+        ok, diagnostic = legal_successor(current, proposed)
+        if not ok:
+            return Decision.reject(diagnostic)
+        mark = self.players.get(proposer)
+        if mark is not None:
+            # The mover's mark is the one new square; it must be theirs.
+            changed = [i for i in range(9)
+                       if current["board"][i] != proposed["board"][i]]
+            if proposed["board"][changed[0]] != mark:
+                return Decision.reject(
+                    f"{proposer} plays {mark} and may not place "
+                    f"{proposed['board'][changed[0]]}"
+                )
+        return Decision.accept()
+
+    # -- local accessors --------------------------------------------------
+
+    @property
+    def board(self) -> "list[str]":
+        return list(self._state["board"])
+
+    @property
+    def next_player(self) -> str:
+        return self._state["next"]
+
+    @property
+    def winner(self) -> str:
+        return self._state["winner"]
+
+
+class TicTacToePlayer:
+    """A player's client: the "Save" (move) and "Load" (view) operations."""
+
+    def __init__(self, controller: B2BObjectController, mark: str) -> None:
+        self.controller = controller
+        self.mark = mark
+        self.game: TicTacToeObject = controller.b2b_object  # type: ignore[assignment]
+
+    def save_move(self, cell: int, mark: "Optional[str]" = None):
+        """Propose claiming *cell* (0-8).  *mark* defaults to the player's
+        own; passing another mark reproduces the Figure 5 cheat attempt."""
+        mark = mark if mark is not None else self.mark
+        if not 0 <= cell <= 8:
+            raise RuleViolation(f"cell must be 0..8, got {cell}")
+        controller = self.controller
+        controller.enter()
+        controller.overwrite()
+        board = self.game.board
+        board[cell] = mark
+        mover = self.game.next_player
+        self.game.apply_state({
+            "board": board,
+            "next": NOUGHT if mover == CROSS else CROSS,
+            "winner": winner_of(board),
+        })
+        return controller.leave()
+
+    def load_board(self) -> "list[str]":
+        """Read the current (agreed) board."""
+        self.controller.enter()
+        self.controller.examine()
+        board = self.game.board
+        self.controller.leave()
+        return board
+
+
+FIGURE5_MOVES = [
+    # (player-mark, cell, mark-placed): the exact Figure 5 sequence.
+    (CROSS, 4, CROSS),    # Cross claims middle row, centre square
+    (NOUGHT, 0, NOUGHT),  # Nought claims top row, left square
+    (CROSS, 5, CROSS),    # Cross claims middle row, right square
+    (CROSS, 7, NOUGHT),   # Cross attempts to mark bottom centre with a zero
+]

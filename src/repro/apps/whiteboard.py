@@ -1,0 +1,109 @@
+"""Shared whiteboard.
+
+Section 5.1 notes that "turn-taking access to shared state is
+characteristic of other applications such as shared white boards".  This
+object generalises the Tic-Tac-Toe pattern to N organisations: strokes
+are append-only and only the organisation holding the turn may draw,
+after which the turn rotates.
+
+State::
+
+    {"strokes": [{"author": org, "points": [[x, y], ...], "colour": str}],
+     "turn": org, "order": [org, ...]}
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.controller import B2BObjectController
+from repro.core.object import B2BObject
+from repro.errors import RuleViolation
+from repro.protocol.validation import Decision
+
+
+def new_board(order: "list[str]") -> dict:
+    if not order:
+        raise RuleViolation("a whiteboard needs at least one participant")
+    return {"strokes": [], "turn": order[0], "order": list(order)}
+
+
+def next_turn(order: "list[str]", current: str) -> str:
+    index = order.index(current)
+    return order[(index + 1) % len(order)]
+
+
+class WhiteboardObject(B2BObject):
+    """Append-only, turn-rotating shared drawing surface."""
+
+    def __init__(self, order: "list[str]",
+                 state: "dict | None" = None) -> None:
+        super().__init__()
+        self._state = dict(state) if state is not None else new_board(order)
+
+    def get_state(self) -> dict:
+        return {
+            "strokes": [dict(stroke) for stroke in self._state["strokes"]],
+            "turn": self._state["turn"],
+            "order": list(self._state["order"]),
+        }
+
+    def apply_state(self, state: Any) -> None:
+        self._state = {
+            "strokes": [dict(stroke) for stroke in state["strokes"]],
+            "turn": state["turn"],
+            "order": list(state["order"]),
+        }
+
+    def validate_state(self, proposed: Any, current: Any, proposer: str) -> Decision:
+        current = current or {}
+        proposed = proposed or {}
+        if proposed.get("order") != current.get("order"):
+            return Decision.reject("the participant rotation is immutable")
+        if current.get("turn") != proposer:
+            return Decision.reject(
+                f"it is {current.get('turn')}'s turn, not {proposer}'s"
+            )
+        old = current.get("strokes", [])
+        new = proposed.get("strokes", [])
+        if len(new) != len(old) + 1 or new[:len(old)] != old:
+            return Decision.reject("strokes are append-only, one per turn")
+        stroke = new[-1]
+        if stroke.get("author") != proposer:
+            return Decision.reject("strokes must be signed by their author")
+        points = stroke.get("points")
+        if not isinstance(points, list) or not points:
+            return Decision.reject("a stroke needs at least one point")
+        expected = next_turn(current["order"], current["turn"])
+        if proposed.get("turn") != expected:
+            return Decision.reject(f"turn must pass to {expected}")
+        return Decision.accept()
+
+    @property
+    def strokes(self) -> "list[dict]":
+        return [dict(stroke) for stroke in self._state["strokes"]]
+
+    @property
+    def turn(self) -> str:
+        return self._state["turn"]
+
+
+class WhiteboardClient:
+    """One organisation's drawing operations."""
+
+    def __init__(self, controller: B2BObjectController) -> None:
+        self.controller = controller
+        self.board: WhiteboardObject = controller.b2b_object  # type: ignore[assignment]
+
+    def draw(self, points: "list[list[int]]", colour: str = "black"):
+        controller = self.controller
+        author = controller.node.party_id
+        controller.enter()
+        controller.overwrite()
+        state = self.board.get_state()
+        state["strokes"].append(
+            {"author": author, "points": points, "colour": colour}
+        )
+        state["turn"] = next_turn(state["order"], state["turn"])
+        self.board.apply_state(state)
+        return controller.leave()

@@ -1,0 +1,95 @@
+"""Reusable experiment drivers shared by the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.bench.metrics import LatencyRecorder, MessageCounter
+from repro.core.community import Community
+from repro.core.object import DictB2BObject
+from repro.core.runtime import SimRuntime
+from repro.errors import ValidationFailed
+from repro.transport.inmemory import LinkProfile
+
+
+def build_community(n_parties: int, seed: "int | str" = 0,
+                    profile: "LinkProfile | None" = None,
+                    key_bits: int = 512) -> Community:
+    """A community of ``Org1..OrgN`` over a deterministic simulated net."""
+    names = [f"Org{i + 1}" for i in range(n_parties)]
+    runtime = SimRuntime(seed=seed, profile=profile or LinkProfile(latency=0.005))
+    return Community(names, runtime=runtime, key_bits=key_bits)
+
+
+def found_dict_object(community: Community, object_name: str = "shared",
+                      members: "list[str] | None" = None):
+    """Found a plain dict object among *members* (default: everyone)."""
+    members = members if members is not None else community.names()
+    objects = {name: DictB2BObject() for name in members}
+    controllers = community.found_object(object_name, objects)
+    return controllers, objects
+
+
+def run_state_workload(community: Community, controllers: dict,
+                       states: "Iterable[Any]",
+                       proposer: "str | None" = None) -> dict:
+    """Drive a sequence of overwrites and measure latency + messages.
+
+    Latency is virtual-time between propose and group agreement at the
+    proposer; message counts come from the network statistics delta.
+    Returns a summary dict for benchmark reporting.
+    """
+    runtime = community.runtime
+    assert isinstance(runtime, SimRuntime)
+    network = runtime.network
+    proposer = proposer or next(iter(controllers))
+    controller = controllers[proposer]
+    b2b_object = controller.b2b_object
+
+    latency = LatencyRecorder()
+    counter = MessageCounter()
+    counter.start(network)
+    completed = 0
+    rejected = 0
+    for state in states:
+        started = network.now()
+        controller.enter()
+        controller.overwrite()
+        b2b_object.apply_state(state)
+        try:
+            controller.leave()
+            completed += 1
+        except ValidationFailed:
+            rejected += 1
+        latency.record(network.now() - started)
+    runtime.settle()
+    messages = counter.delta(network)
+    return {
+        "proposer": proposer,
+        "completed": completed,
+        "rejected": rejected,
+        "latency": latency.summary(),
+        "messages": messages,
+        "per_run_messages": (messages["delivered"] / max(1, completed + rejected)),
+    }
+
+
+def assert_replicas_converged(controllers: dict) -> Any:
+    """All replicas must hold identical agreed state; returns it."""
+    states = {name: controller.agreed_state()
+              for name, controller in controllers.items()}
+    reference = next(iter(states.values()))
+    for name, state in states.items():
+        if state != reference:
+            raise AssertionError(f"replica divergence at {name}: {state!r}")
+    return reference
+
+
+def protocol_message_count(n_parties: int) -> int:
+    """The analytic per-run message count: 3(n-1) for n parties.
+
+    m1 to each of the n-1 recipients, one m2 from each, and m3 back to
+    each — the O(n) efficiency claim of section 7 (the reliable layer's
+    acks and retransmissions come on top and are reported separately).
+    """
+    return 3 * (n_parties - 1)

@@ -1,0 +1,96 @@
+"""Measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-operation latencies and reports summary statistics."""
+
+    samples: "list[float]" = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1,
+                    max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    def stddev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1)
+        )
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "stddev": self.stddev(),
+        }
+
+
+@dataclass
+class MessageCounter:
+    """Delta-counter over a simulated network's statistics."""
+
+    baseline: dict = field(default_factory=dict)
+
+    def start(self, network) -> None:
+        self.baseline = network.stats.snapshot()
+
+    def delta(self, network) -> dict:
+        current = network.stats.snapshot()
+        return {key: current[key] - self.baseline.get(key, 0)
+                for key in current}
+
+
+def format_table(headers: "list[str]", rows: "list[list]") -> str:
+    """Render an aligned plain-text table (benchmark report output)."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

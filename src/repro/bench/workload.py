@@ -1,0 +1,52 @@
+"""Workload generators for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.crypto.prng import DeterministicRandomSource
+
+
+def counter_states(count: int, payload_keys: int = 1,
+                   payload_bytes: int = 16) -> "Iterator[dict]":
+    """A sequence of distinct dict states of controlled size."""
+    filler = "x" * payload_bytes
+    for index in range(count):
+        state: dict = {"counter": index + 1}
+        for key in range(payload_keys):
+            state[f"field{key}"] = f"{filler}{index}"
+        yield state
+
+
+def random_updates(count: int, seed: "int | str" = 0,
+                   key_space: int = 8) -> "Iterator[dict]":
+    """Random small key/value updates over a bounded key space."""
+    rng = DeterministicRandomSource(f"workload:{seed}")
+    for index in range(count):
+        key = f"k{rng.random_below(key_space)}"
+        yield {key: index + 1, "stamp": index}
+
+
+def large_state(size_bytes: int, chunk: int = 64) -> dict:
+    """A dict state of at least *size_bytes* canonical bytes."""
+    from repro.util.encoding import canonical_bytes
+
+    state: dict = {}
+    index = 0
+    while len(canonical_bytes(state)) < size_bytes:
+        state[f"blob{index}"] = "v" * chunk
+        index += 1
+    return state
+
+
+def order_edit_sequence(items: int) -> "Iterator[tuple[str, str, Any]]":
+    """Alternating customer-add / supplier-price edits for an order.
+
+    Yields ``(role, item_name, value)`` tuples: the customer orders item
+    ``i`` then the supplier prices it, mirroring the Figure 7 workflow at
+    scale.
+    """
+    for index in range(items):
+        name = f"widget{index + 1}"
+        yield ("customer", name, (index % 9) + 1)
+        yield ("supplier", name, (index + 1) * 10)

@@ -1,0 +1,310 @@
+"""Command-line tools for the B2BObjects middleware.
+
+Usage::
+
+    python -m repro verify-log PATH        # check an evidence log's chain
+    python -m repro show-log PATH          # list evidence entries
+    python -m repro keygen --id OrgA       # generate a signing key pair
+    python -m repro simulate [options]     # run a coordination workload
+    python -m repro demo NAME              # run a built-in demo scenario
+
+The log commands operate on the crash-safe JSON-lines files produced by
+:class:`repro.storage.backends.FileRecordStore`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.errors import B2BError
+from repro.storage.backends import FileRecordStore
+from repro.storage.log import NonRepudiationLog
+from repro.util.encoding import b64
+
+
+def _cmd_verify_log(args: argparse.Namespace) -> int:
+    store = FileRecordStore(args.path, fsync=False)
+    try:
+        log = NonRepudiationLog(args.owner, store)
+        count = log.verify_chain()
+    except B2BError as exc:
+        print(f"FAILED: {exc}")
+        return 1
+    finally:
+        store.close()
+    print(f"OK: {count} entries, chain intact, head={b64(log.head)[:24]}...")
+    return 0
+
+
+def _cmd_show_log(args: argparse.Namespace) -> int:
+    store = FileRecordStore(args.path, fsync=False)
+    try:
+        log = NonRepudiationLog(args.owner, store)
+        for entry in log.entries(kind=args.kind):
+            summary = {
+                key: value for key, value in entry.payload.items()
+                if isinstance(value, (str, int, bool, float)) or value is None
+            }
+            print(f"[{entry.index:4d}] {entry.kind:28s} "
+                  f"{json.dumps(summary, default=str)[:120]}")
+    except B2BError as exc:
+        print(f"error: {exc}")
+        return 1
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_export_decisions(args: argparse.Namespace) -> int:
+    """Dump authenticated-decision bundles from a log for arbitration."""
+    import os
+
+    from repro.util.encoding import canonical_bytes
+
+    store = FileRecordStore(args.path, fsync=False)
+    try:
+        log = NonRepudiationLog(args.owner, store)
+        os.makedirs(args.out, exist_ok=True)
+        count = 0
+        for entry in log.entries("authenticated-decision"):
+            run_id = str(entry.payload.get("run_id", f"entry{entry.index}"))
+            out_path = os.path.join(args.out, f"{run_id[:16]}.bundle")
+            with open(out_path, "wb") as handle:
+                handle.write(canonical_bytes(entry.payload))
+            count += 1
+        print(f"exported {count} decision bundle(s) to {args.out}")
+    except B2BError as exc:
+        print(f"error: {exc}")
+        return 1
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_verify_bundle(args: argparse.Namespace) -> int:
+    """Independently verify an exported authenticated-decision bundle."""
+    from repro.crypto.rsa import RsaPublicKey
+    from repro.crypto.signature import RsaVerifier
+    from repro.errors import SignatureError
+    from repro.protocol.evidence import verify_authenticated_decision
+    from repro.util.encoding import from_canonical_bytes
+
+    with open(args.keys, encoding="utf-8") as handle:
+        key_data = json.load(handle)
+    verifiers = {
+        party: RsaVerifier(RsaPublicKey.from_dict(key))
+        for party, key in key_data.get("parties", {}).items()
+    }
+    tsa_verifier = None
+    if key_data.get("tsa"):
+        tsa_verifier = RsaVerifier(RsaPublicKey.from_dict(key_data["tsa"]))
+
+    def resolver(party_id: str):
+        verifier = verifiers.get(party_id)
+        if verifier is None:
+            raise SignatureError(f"no public key on file for {party_id!r}")
+        return verifier
+
+    with open(args.bundle, "rb") as handle:
+        bundle = from_canonical_bytes(handle.read())
+    verdict = verify_authenticated_decision(
+        bundle, resolver, tsa_verifier=tsa_verifier,
+    )
+    print(f"kind:       {verdict.kind}")
+    print(f"object:     {verdict.object_name}")
+    print(f"proposer:   {verdict.proposer}")
+    print(f"responders: {', '.join(sorted(verdict.responders)) or '-'}")
+    print(f"authentic:  {verdict.authentic}")
+    print(f"valid:      {verdict.valid}")
+    for problem in verdict.problems:
+        print(f"  problem: {problem}")
+    for diagnostic in verdict.diagnostics:
+        print(f"  diagnostic: {diagnostic}")
+    return 0 if verdict.authentic else 1
+
+
+def _cmd_keygen(args: argparse.Namespace) -> int:
+    from repro.crypto.signature import generate_party_keypair
+
+    keypair = generate_party_keypair(args.id, bits=args.bits)
+    record = {
+        "party_id": args.id,
+        "bits": args.bits,
+        "public_key": keypair.public_key.to_dict(),
+        "private_key": {
+            "n": keypair.private_key.modulus,
+            "e": keypair.private_key.public_exponent,
+            "d": keypair.private_key.private_exponent,
+            "p": keypair.private_key.prime_p,
+            "q": keypair.private_key.prime_q,
+        },
+    }
+    text = json.dumps(record, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.bits}-bit key pair for {args.id!r} to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.bench.harness import (
+        assert_replicas_converged,
+        found_dict_object,
+        run_state_workload,
+    )
+    from repro.bench.workload import counter_states
+    from repro.core.community import Community
+    from repro.core.runtime import SimRuntime
+    from repro.transport.inmemory import LinkProfile
+
+    profile = LinkProfile(
+        latency=args.latency, jitter=args.jitter,
+        drop_probability=args.drop, duplicate_probability=args.duplicate,
+    )
+    names = [f"Org{i + 1}" for i in range(args.parties)]
+    community = Community(
+        names, runtime=SimRuntime(seed=args.seed, profile=profile),
+    )
+    controllers, _objects = found_dict_object(community)
+    if args.fault != "none" and args.failures > 0:
+        from repro.faults import bounded_failure_schedule
+
+        schedule = bounded_failure_schedule(
+            community, names, failures=args.failures,
+            period=0.4, downtime=0.3, start=0.02, kind=args.fault,
+        )
+        schedule.arm()
+        print(f"armed {args.failures} temporary {args.fault} fault(s), "
+              f"{schedule.total_downtime():.2f}s total downtime")
+    summary = run_state_workload(
+        community, controllers, counter_states(args.updates)
+    )
+    assert_replicas_converged(controllers)
+    print(f"parties={args.parties} updates={args.updates} "
+          f"drop={args.drop} seed={args.seed}")
+    print(f"  completed: {summary['completed']}  rejected: {summary['rejected']}")
+    latency = summary["latency"]
+    print(f"  virtual latency: mean={latency['mean']:.4f}s "
+          f"p95={latency['p95']:.4f}s max={latency['max']:.4f}s")
+    messages = summary["messages"]
+    print(f"  messages: sent={messages['sent']} delivered={messages['delivered']} "
+          f"dropped={messages['dropped']} duplicated={messages['duplicated']}")
+    print("  replicas converged: yes")
+    return 0
+
+
+_DEMOS = {
+    "quickstart": "examples/quickstart.py",
+    "tictactoe": "examples/tictactoe_demo.py",
+    "ttp": "examples/ttp_tictactoe_demo.py",
+    "orders": "examples/order_processing_demo.py",
+    "auction": "examples/auction_demo.py",
+    "dependability": "examples/dependability_demo.py",
+}
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name = {
+        "quickstart": "quickstart",
+        "tictactoe": "tictactoe_demo",
+        "ttp": "ttp_tictactoe_demo",
+        "orders": "order_processing_demo",
+        "auction": "auction_demo",
+        "dependability": "dependability_demo",
+    }[args.name]
+    import os
+    examples_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))), "examples",
+    )
+    if examples_dir not in sys.path:
+        sys.path.insert(0, examples_dir)
+    module = importlib.import_module(module_name)
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="B2BObjects middleware tools (DSN 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify-log",
+                            help="verify a non-repudiation log's hash chain")
+    verify.add_argument("path")
+    verify.add_argument("--owner", default="unknown")
+    verify.set_defaults(func=_cmd_verify_log)
+
+    show = sub.add_parser("show-log", help="list evidence log entries")
+    show.add_argument("path")
+    show.add_argument("--owner", default="unknown")
+    show.add_argument("--kind", default=None,
+                      help="filter by entry kind (e.g. authenticated-decision)")
+    show.set_defaults(func=_cmd_show_log)
+
+    export = sub.add_parser(
+        "export-decisions",
+        help="dump authenticated-decision bundles for arbitration",
+    )
+    export.add_argument("path")
+    export.add_argument("--owner", default="unknown")
+    export.add_argument("--out", required=True)
+    export.set_defaults(func=_cmd_export_decisions)
+
+    verify_bundle = sub.add_parser(
+        "verify-bundle",
+        help="independently verify an exported decision bundle",
+    )
+    verify_bundle.add_argument("bundle")
+    verify_bundle.add_argument(
+        "--keys", required=True,
+        help='JSON file: {"parties": {id: public-key}, "tsa": public-key}',
+    )
+    verify_bundle.set_defaults(func=_cmd_verify_bundle)
+
+    keygen = sub.add_parser("keygen", help="generate an RSA signing key pair")
+    keygen.add_argument("--id", required=True, dest="id")
+    keygen.add_argument("--bits", type=int, default=512)
+    keygen.add_argument("--out", default=None)
+    keygen.set_defaults(func=_cmd_keygen)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a coordination workload on the simulator"
+    )
+    simulate.add_argument("--parties", type=int, default=3)
+    simulate.add_argument("--updates", type=int, default=10)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--latency", type=float, default=0.01)
+    simulate.add_argument("--jitter", type=float, default=0.0)
+    simulate.add_argument("--drop", type=float, default=0.0)
+    simulate.add_argument("--duplicate", type=float, default=0.0)
+    simulate.add_argument("--fault", choices=["none", "crash", "partition"],
+                          default="none")
+    simulate.add_argument("--failures", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    demo = sub.add_parser("demo", help="run a built-in demo scenario")
+    demo.add_argument("name", choices=sorted(_DEMOS))
+    demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: "Optional[list[str]]" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Local concurrency control over shared objects (section 5).
+
+"Together with enter and leave, the three access type indication
+operations (examine, overwrite and update) can be used as hooks for
+concurrency control mechanisms and transactional access to objects."
+
+:class:`LockManager` is such a mechanism: a per-object readers/writer
+lock driven exactly by those hooks.  Attach one to a controller with
+:func:`install_locking` and concurrent application threads (the TCP
+runtime) serialise correctly — examine scopes share the object, writing
+scopes are exclusive.  Locks are *local* to one organisation: cross-
+organisation serialisation is already provided by the coordination
+protocol's run-at-a-time rule.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.core.controller import B2BObjectController
+from repro.errors import ConcurrencyError
+
+
+class ReadersWriterLock:
+    """A fair-ish readers/writer lock (writers block new readers)."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer: "Optional[int]" = None
+        self._writers_waiting = 0
+
+    def acquire_read(self, timeout: "float | None" = None) -> None:
+        with self._condition:
+            ok = self._condition.wait_for(
+                lambda: self._writer is None and self._writers_waiting == 0,
+                timeout=timeout,
+            )
+            if not ok:
+                raise ConcurrencyError("timed out waiting for a read lock")
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            if self._readers <= 0:
+                raise ConcurrencyError("release_read without a read lock")
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self, timeout: "float | None" = None) -> None:
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer == me:
+                raise ConcurrencyError("write lock is not re-entrant")
+            self._writers_waiting += 1
+            try:
+                ok = self._condition.wait_for(
+                    lambda: self._writer is None and self._readers == 0,
+                    timeout=timeout,
+                )
+                if not ok:
+                    raise ConcurrencyError("timed out waiting for a write lock")
+                self._writer = me
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._condition:
+            if self._writer != threading.get_ident():
+                raise ConcurrencyError("release_write by a non-holder")
+            self._writer = None
+            self._condition.notify_all()
+
+    @property
+    def readers(self) -> int:
+        return self._readers
+
+    @property
+    def write_held(self) -> bool:
+        return self._writer is not None
+
+
+class LockManager:
+    """Per-object lock registry shared by an organisation's threads."""
+
+    def __init__(self, timeout: "float | None" = 30.0) -> None:
+        self.timeout = timeout
+        self._locks: "dict[str, ReadersWriterLock]" = {}
+        self._registry_lock = threading.Lock()
+
+    def lock_for(self, object_name: str) -> ReadersWriterLock:
+        with self._registry_lock:
+            lock = self._locks.get(object_name)
+            if lock is None:
+                lock = ReadersWriterLock()
+                self._locks[object_name] = lock
+            return lock
+
+
+class LockingController(B2BObjectController):
+    """A controller whose scopes take local read/write locks.
+
+    The outermost ``enter`` takes a read lock (scopes default to
+    examine); the first ``overwrite``/``update`` indication upgrades it
+    to a write lock; the outermost ``leave`` releases whatever is held
+    *after* coordination completes, so a writing scope holds the object
+    exclusively through agreement.
+    """
+
+    def __init__(self, *args, lock_manager: "LockManager | None" = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.lock_manager = lock_manager or LockManager()
+        self._held: "Optional[str]" = None  # None | "read" | "write"
+
+    def enter(self) -> None:
+        if self._depth == 0:
+            lock = self.lock_manager.lock_for(self.object_name)
+            lock.acquire_read(self.lock_manager.timeout)
+            self._held = "read"
+        super().enter()
+
+    def _upgrade_to_write(self) -> None:
+        if self._held == "write":
+            return
+        lock = self.lock_manager.lock_for(self.object_name)
+        if self._held == "read":
+            lock.release_read()
+            self._held = None
+        lock.acquire_write(self.lock_manager.timeout)
+        self._held = "write"
+
+    def overwrite(self) -> None:
+        self._require_scope()
+        self._upgrade_to_write()
+        super().overwrite()
+
+    def update(self) -> None:
+        self._require_scope()
+        self._upgrade_to_write()
+        super().update()
+
+    def leave(self):
+        outermost = self._depth == 1
+        try:
+            return super().leave()
+        finally:
+            if outermost and self._held is not None:
+                lock = self.lock_manager.lock_for(self.object_name)
+                if self._held == "read":
+                    lock.release_read()
+                else:
+                    lock.release_write()
+                self._held = None
+
+
+def install_locking(node, object_name: str, b2b_object, *,
+                    lock_manager: "LockManager | None" = None,
+                    **controller_kwargs) -> LockingController:
+    """Replace an object's controller with a locking one.
+
+    Convenience for deployments that registered the object first and want
+    to add local concurrency control afterwards.
+    """
+    controller = LockingController(
+        node, object_name, b2b_object,
+        lock_manager=lock_manager, **controller_kwargs,
+    )
+    node.controllers[object_name] = controller
+    return controller

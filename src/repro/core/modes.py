@@ -1,0 +1,23 @@
+"""Communication modes (section 5).
+
+"In synchronous mode, [connect, disconnect and leave] block until the
+relevant coordination process completes (an exception is raised if
+validation fails).  In asynchronous mode, they return immediately and
+completion is signalled by the coordinator through invocation of
+coordCallback.  In deferred synchronous mode they return immediately and
+a blocking call to coordCommit can be used to wait for completion."
+"""
+
+from __future__ import annotations
+
+SYNCHRONOUS = "synchronous"
+DEFERRED_SYNCHRONOUS = "deferred-synchronous"
+ASYNCHRONOUS = "asynchronous"
+
+ALL_MODES = (SYNCHRONOUS, DEFERRED_SYNCHRONOUS, ASYNCHRONOUS)
+
+
+def validate_mode(mode: str) -> str:
+    if mode not in ALL_MODES:
+        raise ValueError(f"unknown communication mode {mode!r}; expected one of {ALL_MODES}")
+    return mode

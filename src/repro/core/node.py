@@ -1,0 +1,382 @@
+"""The organisation node: the B2BCoordinator of Figure 4.
+
+One :class:`OrganisationNode` hosts everything Figure 3 places inside an
+organisation's middleware boundary: the reliable communication endpoint,
+the protocol engines (via :class:`~repro.protocol.party.ProtocolParty`),
+certificate management, the non-repudiation log, check-pointing, and the
+local propagation interface (``propagate_new_state`` / ``propagate_update``
+/ ``propagate_connect`` / ``propagate_disconnect``) that insulates
+controllers from protocol-specific detail.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.core.controller import (
+    B2BObjectController,
+    CoordinationTicket,
+    ObjectMergerAdapter,
+    ObjectValidatorAdapter,
+)
+from repro.core.modes import SYNCHRONOUS
+from repro.core.object import B2BObject
+from repro.core.runtime import Runtime, SimRuntime, ThreadedRuntime
+from repro.errors import NotConnectedError, ProtocolBlocked
+from repro.protocol.context import PartyContext
+from repro.protocol.events import (
+    ConnectionDecided,
+    DisconnectionDecided,
+    Event,
+    MembershipChanged,
+    MisbehaviourEvent,
+    Output,
+    RunCompleted,
+)
+from repro.protocol.group import ROTATING
+from repro.protocol.membership import CertificateResolver
+from repro.protocol.party import ProtocolParty
+from repro.transport.reliable import ReliableEndpoint
+
+EventListener = Callable[[Event], None]
+
+
+class OrganisationNode:
+    """One organisation's complete middleware instance."""
+
+    def __init__(self, ctx: PartyContext, runtime: Runtime,
+                 certificate_resolver: "CertificateResolver | None" = None,
+                 certificate: "dict | None" = None,
+                 retransmit_interval: float = 0.05,
+                 default_timeout: "float | None" = None) -> None:
+        self.ctx = ctx
+        self.runtime = runtime
+        self.certificate = certificate
+        self.party = ProtocolParty(ctx, certificate_resolver=certificate_resolver)
+        self.endpoint = ReliableEndpoint(
+            ctx.party_id, runtime.network, retransmit_interval=retransmit_interval
+        )
+        self.endpoint.on_message(self._on_message)
+        self.controllers: "dict[str, B2BObjectController]" = {}
+        self.listeners: "list[EventListener]" = []
+        self.misbehaviour_reports: "list[MisbehaviourEvent]" = []
+        if default_timeout is None:
+            default_timeout = (SimRuntime.DEFAULT_TIMEOUT
+                               if isinstance(runtime, SimRuntime)
+                               else ThreadedRuntime.DEFAULT_TIMEOUT)
+        self.default_timeout = default_timeout
+        self._tickets: "dict[str, CoordinationTicket]" = {}
+        self._lock = threading.RLock()
+        self._join_objects: "dict[str, B2BObject]" = {}
+        self._join_modes: "dict[str, str]" = {}
+        self._crashed = False
+        # Fault-injection hook: maps one outbound (recipient, message) to a
+        # replacement list (empty = suppress).  Used by repro.faults to
+        # model misbehaving parties that alter or omit their own traffic.
+        self.outbound_interceptor: "Optional[Callable[[str, dict], list[tuple[str, dict]]]]" = None
+
+    @property
+    def party_id(self) -> str:
+        return self.ctx.party_id
+
+    def add_listener(self, listener: EventListener) -> None:
+        """Observe every protocol event this node surfaces."""
+        self.listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # object lifecycle
+    # ------------------------------------------------------------------
+
+    def register_object(self, object_name: str, b2b_object: B2BObject,
+                        members: "list[str]",
+                        mode: str = SYNCHRONOUS,
+                        sponsor_mode: str = ROTATING,
+                        reject_null_transitions: bool = True,
+                        timeout: "float | None" = None,
+                        engine_cls: "Optional[type]" = None) -> B2BObjectController:
+        """Found a shared object (every founding member calls this)."""
+        with self._lock:
+            controller = B2BObjectController(
+                self, object_name, b2b_object, mode=mode,
+                timeout=timeout if timeout is not None else self.default_timeout,
+            )
+            extra: dict = {}
+            if engine_cls is not None:
+                extra["engine_cls"] = engine_cls
+            self.party.create_object(
+                object_name,
+                members,
+                b2b_object.get_state(),
+                validator=ObjectValidatorAdapter(b2b_object),
+                merger=ObjectMergerAdapter(b2b_object),
+                sponsor_mode=sponsor_mode,
+                reject_null_transitions=reject_null_transitions,
+                **extra,
+            )
+            self.controllers[object_name] = controller
+            return controller
+
+    def restore_object(self, object_name: str, b2b_object: B2BObject,
+                       mode: str = SYNCHRONOUS,
+                       timeout: "float | None" = None,
+                       engine_cls: "Optional[type]" = None) -> B2BObjectController:
+        """Rebuild a shared object from durable state after a restart.
+
+        Counterpart of :meth:`register_object` for a node whose process
+        restarted: the agreed state and group view come from the
+        checkpoint store and any in-flight protocol runs are resumed from
+        the journal.  The application object receives the recovered
+        agreed state via ``apply_state``.
+        """
+        with self._lock:
+            controller = B2BObjectController(
+                self, object_name, b2b_object, mode=mode,
+                timeout=timeout if timeout is not None else self.default_timeout,
+            )
+            extra: dict = {}
+            if engine_cls is not None:
+                extra["engine_cls"] = engine_cls
+            session, output = self.party.restore_object(
+                object_name,
+                validator=ObjectValidatorAdapter(b2b_object),
+                merger=ObjectMergerAdapter(b2b_object),
+                **extra,
+            )
+            b2b_object.apply_state(session.state.agreed_state)
+            self.controllers[object_name] = controller
+            self._process_output(output)
+            return controller
+
+    def connect(self, object_name: str, b2b_object: B2BObject,
+                sponsor: "str | None" = None,
+                mode: str = SYNCHRONOUS,
+                sponsor_mode: str = ROTATING,
+                timeout: "float | None" = None,
+                via: "str | None" = None) -> B2BObjectController:
+        """Join an existing shared object.
+
+        Name the *sponsor* directly, or pass any known member as *via* to
+        have the sponsor discovered (section 4.5.3).  Synchronous-mode
+        semantics: blocks until admitted (returning the new controller)
+        or raises on rejection/timeout.  For deferred or asynchronous
+        use, call :meth:`propagate_connect` directly.
+        """
+        ticket = self.propagate_connect(object_name, b2b_object, sponsor,
+                                        mode=mode, sponsor_mode=sponsor_mode,
+                                        via=via)
+        self.wait_for_ticket(ticket, timeout)
+        if not ticket.done:
+            raise ProtocolBlocked(
+                f"connection to {object_name!r} did not complete"
+            )
+        if not ticket.valid:
+            raise NotConnectedError(
+                f"connection to {object_name!r} was rejected: {ticket.diagnostics}"
+            )
+        return self.controllers[object_name]
+
+    # ------------------------------------------------------------------
+    # B2BCoordinatorLocal propagation interface (section 5)
+    # ------------------------------------------------------------------
+
+    def propagate_new_state(self, object_name: str,
+                            new_state: Any) -> CoordinationTicket:
+        self._await_quiescent(object_name)
+        with self._lock:
+            session = self.party.session(object_name)
+            run_id, output = session.state.propose_overwrite(new_state)
+            ticket = self._track(run_id, object_name, "state")
+            self._process_output(output)
+            return ticket
+
+    def propagate_update(self, object_name: str, update: Any) -> CoordinationTicket:
+        self._await_quiescent(object_name)
+        with self._lock:
+            session = self.party.session(object_name)
+            run_id, output = session.state.propose_update(update)
+            ticket = self._track(run_id, object_name, "state")
+            self._process_output(output)
+            return ticket
+
+    def propagate_connect(self, object_name: str, b2b_object: B2BObject,
+                          sponsor: "str | None" = None,
+                          mode: str = SYNCHRONOUS,
+                          sponsor_mode: str = ROTATING,
+                          via: "str | None" = None) -> CoordinationTicket:
+        with self._lock:
+            output = self.party.join_object(
+                object_name, sponsor,
+                certificate=self.certificate,
+                validator=ObjectValidatorAdapter(b2b_object),
+                merger=ObjectMergerAdapter(b2b_object),
+                sponsor_mode=sponsor_mode,
+                via=via,
+            )
+            self._join_objects[object_name] = b2b_object
+            self._join_modes[object_name] = mode
+            ticket = self._track(f"join:{object_name}", object_name, "connect")
+            self._process_output(output)
+            return ticket
+
+    def propagate_disconnect(self, object_name: str) -> CoordinationTicket:
+        self._await_quiescent(object_name)
+        with self._lock:
+            session = self.party.session(object_name)
+            _digest, output = session.membership.request_disconnect()
+            ticket = self._track(f"leave:{object_name}", object_name, "disconnect")
+            self._process_output(output)
+            return ticket
+
+    def propagate_eviction(self, object_name: str,
+                           subjects: "list[str]") -> CoordinationTicket:
+        self._await_quiescent(object_name)
+        with self._lock:
+            session = self.party.session(object_name)
+            _digest, output = session.membership.request_eviction(subjects)
+            ticket = self._track(f"evict:{object_name}", object_name, "evict")
+            self._process_output(output)
+            return ticket
+
+    # ------------------------------------------------------------------
+    # waiting
+    # ------------------------------------------------------------------
+
+    def wait_for_ticket(self, ticket: CoordinationTicket,
+                        timeout: "float | None" = None) -> bool:
+        timeout = timeout if timeout is not None else self.default_timeout
+        return self.runtime.wait_until(lambda: ticket.done, timeout)
+
+    def _await_quiescent(self, object_name: str) -> None:
+        """Wait for the local replica to have no run in flight.
+
+        A replica that accepted a proposal must see its ``m3`` before it
+        can take part in another run; waiting here (outside the node
+        lock, so inbound traffic keeps flowing) turns the engine's hard
+        ConcurrencyError into the natural "wait your turn" behaviour an
+        application expects.  If the run never settles (a misbehaving
+        proposer), the subsequent propose still raises.
+        """
+        try:
+            session = self.party.session(object_name)
+        except NotConnectedError:
+            return
+        engine = session.state
+        self.runtime.wait_until(
+            lambda: not engine.busy and not engine.membership_change_active
+            and not session.membership.busy,
+            self.default_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # fault-injection hooks (used by tests and benchmarks)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a node crash: stop timers, drop volatile state.
+
+        Durable state (evidence log, journal, checkpoints) survives in the
+        context's stores; :meth:`recover` resumes protocol participation.
+        """
+        self._crashed = True
+        self.endpoint.stop()
+        network = self.runtime.network
+        crash = getattr(network, "crash", None)
+        if crash is not None:
+            crash(self.party_id)
+
+    def recover(self) -> None:
+        """Recover from a crash and re-drive in-flight protocol runs."""
+        network = self.runtime.network
+        recover = getattr(network, "recover", None)
+        if recover is not None:
+            recover(self.party_id)
+        self.endpoint.restart()
+        self._crashed = False
+        with self._lock:
+            self._process_output(self.party.resend_outstanding())
+
+    def check_progress(self, timeout: "float | None" = None) -> "list[Event]":
+        """Surface blocked runs (evidence for dispute resolution)."""
+        timeout = timeout if timeout is not None else self.default_timeout
+        with self._lock:
+            output = self.party.check_progress(timeout)
+            self._process_output(output)
+            return output.events
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _track(self, key: str, object_name: str, kind: str) -> CoordinationTicket:
+        ticket = CoordinationTicket(key=key, object_name=object_name, kind=kind)
+        self._tickets[key] = ticket
+        return ticket
+
+    def _on_message(self, sender: str, payload: dict) -> None:
+        if self._crashed:
+            return
+        with self._lock:
+            output = self.party.handle(sender, payload)
+            self._process_output(output)
+
+    def _process_output(self, output: Output) -> None:
+        for recipient, message in output.messages:
+            if self.outbound_interceptor is not None:
+                for actual_recipient, actual in self.outbound_interceptor(
+                        recipient, message):
+                    self.endpoint.send(actual_recipient, actual)
+            else:
+                self.endpoint.send(recipient, message)
+        for event in output.events:
+            self._dispatch_event(event)
+
+    def _dispatch_event(self, event: Event) -> None:
+        if isinstance(event, MisbehaviourEvent):
+            self.misbehaviour_reports.append(event)
+        self._resolve_tickets(event)
+        object_name = getattr(event, "object_name", None)
+        if isinstance(event, ConnectionDecided) and event.accepted:
+            self._finish_join(event)
+        controller = self.controllers.get(object_name or "")
+        if controller is not None:
+            controller.on_event(event)
+        for listener in self.listeners:
+            listener(event)
+
+    def _finish_join(self, event: ConnectionDecided) -> None:
+        b2b_object = self._join_objects.pop(event.object_name, None)
+        mode = self._join_modes.pop(event.object_name, SYNCHRONOUS)
+        if b2b_object is None:
+            return
+        controller = B2BObjectController(
+            self, event.object_name, b2b_object, mode=mode,
+            timeout=self.default_timeout,
+        )
+        b2b_object.apply_state(event.state)
+        self.controllers[event.object_name] = controller
+
+    def _resolve_tickets(self, event: Event) -> None:
+        if isinstance(event, RunCompleted):
+            ticket = self._tickets.get(event.run_id)
+            if ticket is not None and not ticket.done:
+                ticket.resolve(event.valid, event.diagnostics, event)
+            if event.kind == "evict":
+                evict_ticket = self._tickets.get(f"evict:{event.object_name}")
+                if evict_ticket is not None and not evict_ticket.done:
+                    evict_ticket.resolve(event.valid, event.diagnostics, event)
+        elif isinstance(event, MembershipChanged) and event.change == "evict":
+            ticket = self._tickets.get(f"evict:{event.object_name}")
+            if ticket is not None and not ticket.done:
+                ticket.resolve(True, [], event)
+        elif isinstance(event, ConnectionDecided):
+            ticket = self._tickets.get(f"join:{event.object_name}")
+            if ticket is not None and not ticket.done:
+                ticket.resolve(event.accepted, event.diagnostics, event)
+                if not event.accepted:
+                    self._join_objects.pop(event.object_name, None)
+                    self._join_modes.pop(event.object_name, None)
+        elif isinstance(event, DisconnectionDecided):
+            ticket = self._tickets.get(f"leave:{event.object_name}")
+            if ticket is not None and not ticket.done:
+                ticket.resolve(True, [], event)

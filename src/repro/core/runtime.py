@@ -1,0 +1,100 @@
+"""Runtimes: how sans-IO engines are driven against a network.
+
+* :class:`SimRuntime` — single-threaded, virtual time, deterministic.
+  ``wait_until`` *is* the event loop: it executes network events until the
+  predicate holds.
+* :class:`ThreadedRuntime` — real time over any network (typically
+  :class:`~repro.transport.tcp.TcpNetwork`); listener threads push
+  messages as they arrive and ``wait_until`` polls with short sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.transport.base import Network
+from repro.transport.inmemory import LinkProfile, SimNetwork
+from repro.transport.tcp import TcpNetwork
+
+Predicate = Callable[[], bool]
+
+
+class Runtime:
+    """Binds nodes to a network and provides blocking waits."""
+
+    network: Network
+
+    def wait_until(self, predicate: Predicate,
+                   timeout: "float | None" = None) -> bool:
+        """Drive/observe the network until *predicate* holds.
+
+        Returns the final predicate value (False on timeout).
+        """
+        raise NotImplementedError
+
+    def settle(self, duration: "float | None" = None) -> None:
+        """Let in-flight traffic drain (best effort)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release runtime resources (idempotent)."""
+
+
+class SimRuntime(Runtime):
+    """Deterministic virtual-time runtime over :class:`SimNetwork`."""
+
+    DEFAULT_TIMEOUT = 300.0  # virtual seconds
+
+    def __init__(self, seed: "int | str" = 0,
+                 profile: "LinkProfile | None" = None,
+                 network: "SimNetwork | None" = None) -> None:
+        # A pre-built network (e.g. the store-and-forward
+        # BrokeredSimNetwork) may be supplied instead of the default.
+        self.network = network if network is not None \
+            else SimNetwork(seed=seed, default_profile=profile)
+
+    def wait_until(self, predicate: Predicate,
+                   timeout: "float | None" = None) -> bool:
+        timeout = timeout if timeout is not None else self.DEFAULT_TIMEOUT
+        deadline = self.network.now() + timeout
+        self.network.run(max_time=deadline, until=predicate)
+        return bool(predicate())
+
+    def settle(self, duration: "float | None" = None) -> None:
+        if duration is None:
+            self.network.run()
+        else:
+            self.network.run(max_time=self.network.now() + duration)
+
+    def now(self) -> float:
+        return self.network.now()
+
+
+class ThreadedRuntime(Runtime):
+    """Real-time runtime, typically over TCP."""
+
+    DEFAULT_TIMEOUT = 15.0  # real seconds
+    POLL_INTERVAL = 0.002
+
+    def __init__(self, network: "Network | None" = None) -> None:
+        self.network = network if network is not None else TcpNetwork()
+
+    def wait_until(self, predicate: Predicate,
+                   timeout: "float | None" = None) -> bool:
+        timeout = timeout if timeout is not None else self.DEFAULT_TIMEOUT
+        deadline = time.monotonic() + timeout
+        while True:
+            if predicate():
+                return True
+            if time.monotonic() >= deadline:
+                return bool(predicate())
+            time.sleep(self.POLL_INTERVAL)
+
+    def settle(self, duration: "float | None" = None) -> None:
+        time.sleep(duration if duration is not None else 0.05)
+
+    def close(self) -> None:
+        close = getattr(self.network, "close", None)
+        if close is not None:
+            close()

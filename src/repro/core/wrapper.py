@@ -1,0 +1,125 @@
+"""Automatic B2BObject wrappers (Figure 3 / section 5).
+
+The paper notes: "Given knowledge of an application object's state access
+operations, the wrapper methods of a B2BObjectImpl class could be
+generated automatically."  :func:`wrap_object` does exactly that — it
+returns a proxy whose read methods run inside ``enter/examine/leave``
+scopes and whose write methods run inside ``enter/overwrite/leave`` (or
+``enter/update/leave``) scopes, so an existing enterprise object becomes
+an inter-organisation object with no change to its call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.controller import B2BObjectController
+from repro.core.object import B2BObject
+from repro.errors import ConfigurationError
+from repro.protocol.validation import Decision
+
+
+class WrappedB2BObject(B2BObject):
+    """Adapts a plain application object to the B2BObject interface.
+
+    The application object must expose ``get_state()``/``apply_state()``
+    (or be given explicit accessor callables); validation rules can be
+    attached as callables without modifying the object.
+    """
+
+    def __init__(self, app_object: Any,
+                 get_state: "Callable[[], Any] | None" = None,
+                 apply_state: "Callable[[Any], None] | None" = None,
+                 validate_state: "Callable[[Any, Any, str], Decision] | None" = None) -> None:
+        super().__init__()
+        self.app_object = app_object
+        self._get_state = get_state or getattr(app_object, "get_state", None)
+        self._apply_state = apply_state or getattr(app_object, "apply_state", None)
+        if self._get_state is None or self._apply_state is None:
+            raise ConfigurationError(
+                "wrapped object needs get_state/apply_state accessors"
+            )
+        self._validate_state = validate_state
+
+    def get_state(self) -> Any:
+        return self._get_state()
+
+    def apply_state(self, state: Any) -> None:
+        self._apply_state(state)
+
+    def validate_state(self, proposed: Any, current: Any, proposer: str) -> Decision:
+        if self._validate_state is None:
+            return Decision.accept()
+        return self._validate_state(proposed, current, proposer)
+
+
+class CoordinatedProxy:
+    """Method-level proxy that scopes calls through a controller.
+
+    Mirrors the paper's generated ``setAttribute``/``getAttribute``
+    wrappers: write methods trigger state coordination at ``leave``; read
+    methods are examine-scoped and never coordinate.
+    """
+
+    def __init__(self, app_object: Any, controller: B2BObjectController,
+                 write_methods: "Iterable[str]" = (),
+                 read_methods: "Iterable[str]" = (),
+                 update_methods: "Iterable[str]" = ()) -> None:
+        self._app_object = app_object
+        self._controller = controller
+        self._write_methods = set(write_methods)
+        self._read_methods = set(read_methods)
+        self._update_methods = set(update_methods)
+        overlap = self._write_methods & self._update_methods
+        if overlap:
+            raise ConfigurationError(
+                f"methods cannot be both write and update: {sorted(overlap)}"
+            )
+        for name in (self._write_methods | self._read_methods
+                     | self._update_methods):
+            if not callable(getattr(app_object, name, None)):
+                raise ConfigurationError(
+                    f"{type(app_object).__name__} has no callable {name!r}"
+                )
+
+    def __getattr__(self, name: str) -> Any:
+        target = getattr(self._app_object, name)
+        if name in self._write_methods:
+            return self._scoped(target, self._controller.overwrite)
+        if name in self._update_methods:
+            return self._scoped(target, self._controller.update)
+        if name in self._read_methods:
+            return self._scoped(target, self._controller.examine)
+        return target
+
+    def _scoped(self, method: Callable[..., Any],
+                indicate: Callable[[], None]) -> Callable[..., Any]:
+        controller = self._controller
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            controller.enter()
+            try:
+                indicate()
+                result = method(*args, **kwargs)
+            except Exception:
+                # The access failed before coordination: close the scope
+                # as a read so no state change is proposed.
+                controller._access = None
+                controller.leave()
+                raise
+            controller.leave()
+            return result
+
+        wrapper.__name__ = getattr(method, "__name__", "wrapped")
+        return wrapper
+
+
+def wrap_object(app_object: Any, controller: B2BObjectController,
+                write_methods: "Iterable[str]" = (),
+                read_methods: "Iterable[str]" = (),
+                update_methods: "Iterable[str]" = ()) -> CoordinatedProxy:
+    """Generate the coordinated wrapper for an application object."""
+    return CoordinatedProxy(app_object, controller,
+                            write_methods=write_methods,
+                            read_methods=read_methods,
+                            update_methods=update_methods)

@@ -1,0 +1,74 @@
+"""Cryptographic substrate: hashing, PRNG, RSA signatures, PKI, TSA.
+
+Everything here is implemented from scratch on the standard library, per
+the reproduction's no-external-dependency rule.  The primitives match the
+assumptions in section 4.2 of the paper: a verifiable/unforgeable
+signature scheme, a one-way collision-resistant hash, a secure PRNG, and
+a trusted time-stamping service.
+"""
+
+from repro.crypto.certificates import Certificate, CertificateAuthority, CertificateStore
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    HASH_ALGORITHM,
+    constant_time_equal,
+    hash_hex,
+    hash_members,
+    hash_value,
+    hmac_digest,
+    secure_hash,
+)
+from repro.crypto.prng import DeterministicRandomSource, RandomSource, SystemRandomSource
+from repro.crypto.rsa import (
+    DEFAULT_KEY_BITS,
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_keypair,
+)
+from repro.crypto.signature import (
+    HmacSigner,
+    HmacVerifier,
+    KeyPair,
+    RsaSigner,
+    RsaVerifier,
+    Signature,
+    Signer,
+    Verifier,
+    generate_party_keypair,
+    verifier_for_public_key,
+)
+from repro.crypto.timestamp import TimestampService, TimestampToken, verify_timestamp
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateStore",
+    "DIGEST_SIZE",
+    "HASH_ALGORITHM",
+    "constant_time_equal",
+    "hash_hex",
+    "hash_members",
+    "hash_value",
+    "hmac_digest",
+    "secure_hash",
+    "DeterministicRandomSource",
+    "RandomSource",
+    "SystemRandomSource",
+    "DEFAULT_KEY_BITS",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "generate_keypair",
+    "HmacSigner",
+    "HmacVerifier",
+    "KeyPair",
+    "RsaSigner",
+    "RsaVerifier",
+    "Signature",
+    "Signer",
+    "Verifier",
+    "generate_party_keypair",
+    "verifier_for_public_key",
+    "TimestampService",
+    "TimestampToken",
+    "verify_timestamp",
+]

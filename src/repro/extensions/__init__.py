@@ -1,0 +1,25 @@
+"""Section-7 future-work extensions: stronger termination guarantees."""
+
+from repro.extensions.deadlines import (
+    RESOLUTION_ABORT,
+    RESOLUTION_COMMIT,
+    DeadlineMonitor,
+    TerminationTTP,
+    apply_certified_resolution,
+    gather_run_evidence,
+)
+from repro.extensions.majority import (
+    MajorityCoordinationEngine,
+    make_majority_engine,
+)
+
+__all__ = [
+    "RESOLUTION_ABORT",
+    "RESOLUTION_COMMIT",
+    "DeadlineMonitor",
+    "TerminationTTP",
+    "apply_certified_resolution",
+    "gather_run_evidence",
+    "MajorityCoordinationEngine",
+    "make_majority_engine",
+]

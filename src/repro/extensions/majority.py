@@ -1,0 +1,77 @@
+"""Majority-vote termination (section 7 future work).
+
+"Approaches to guaranteeing termination include: automatic resolution or
+abort by resorting to majority decision on state changes" — with a nod to
+MAFTIA's work on tolerating the corruption of a proportion of
+participants in agreement protocols.
+
+:class:`MajorityCoordinationEngine` replaces the unanimity rule with a
+configurable quorum over the full participant set (the proposer counts as
+an implicit accept).  All systematic checks — signatures, invariants,
+body integrity, bundle completeness — are unchanged; only the decision
+aggregation differs.  A correctly behaving party in the accepting
+majority installs the state even if it personally vetoed, which is the
+price of guaranteed resolution (and why the paper's base protocol keeps
+unanimity).
+"""
+
+from __future__ import annotations
+
+from repro.protocol.coordination import StateCoordinationEngine
+from repro.protocol.messages import SignedPart
+from repro.protocol.validation import Decision
+
+
+class MajorityCoordinationEngine(StateCoordinationEngine):
+    """State coordination deciding by quorum instead of unanimity."""
+
+    #: Fraction of the *whole group* (including the proposer) that must
+    #: accept.  Strictly-greater-than comparison, so 0.5 means a strict
+    #: majority.
+    quorum_fraction: float = 0.5
+
+    def _aggregate_decisions(self, responses: "list[SignedPart]",
+                             own_decision: "Decision | None" = None
+                             ) -> "tuple[bool, list[str]]":
+        diagnostics: "list[str]" = []
+        accepts = 1  # the proposer's implicit accept
+        for part in responses:
+            try:
+                decision = Decision.from_dict(part.payload["decision"])
+            except (KeyError, ValueError, TypeError):
+                diagnostics.append(f"{part.signer}: malformed decision")
+                continue
+            if decision.accepted:
+                accepts += 1
+            else:
+                for diag in decision.diagnostics or ("rejected",):
+                    diagnostics.append(f"{part.signer}: {diag}")
+        # Quorum is computed over the whole group, so a partial response
+        # set (non-responders after force_completion) weighs against the
+        # proposal rather than shrinking the electorate.
+        group_size = len(self.group)
+        valid = accepts > self.quorum_fraction * group_size
+        diagnostics.append(
+            f"majority rule: {accepts}/{group_size} accepted "
+            f"(quorum > {self.quorum_fraction:g})"
+        )
+        return valid, diagnostics
+
+    def _may_install_despite_own_veto(self) -> bool:
+        return True
+
+    def _require_complete_bundle(self) -> bool:
+        return False
+
+
+def make_majority_engine(quorum_fraction: float) -> "type[MajorityCoordinationEngine]":
+    """Build an engine class with a custom quorum (e.g. 2/3)."""
+    if not 0.0 <= quorum_fraction < 1.0:
+        raise ValueError("quorum fraction must be in [0, 1)")
+
+    class _Engine(MajorityCoordinationEngine):
+        pass
+
+    _Engine.quorum_fraction = quorum_fraction
+    _Engine.__name__ = f"MajorityEngine_{int(quorum_fraction * 100)}"
+    return _Engine

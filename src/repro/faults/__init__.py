@@ -1,0 +1,40 @@
+"""Fault and adversary models: crashes, partitions, byzantine parties,
+and the Dolev-Yao network intruder."""
+
+from repro.faults.byzantine import (
+    ByzantineBehaviour,
+    DivergentBody,
+    ForgedCommitAuth,
+    MessageRecorder,
+    SelectiveCommit,
+    SelectiveProposal,
+    SuppressCommits,
+    SuppressResponses,
+    TamperedCommitResponses,
+)
+from repro.faults.injectors import (
+    CrashWindow,
+    FaultSchedule,
+    PartitionWindow,
+    bounded_failure_schedule,
+)
+from repro.faults.intruder import DolevYaoIntruder, tamper_body, tamper_commit_auth
+
+__all__ = [
+    "ByzantineBehaviour",
+    "DivergentBody",
+    "ForgedCommitAuth",
+    "MessageRecorder",
+    "SelectiveCommit",
+    "SelectiveProposal",
+    "SuppressCommits",
+    "SuppressResponses",
+    "TamperedCommitResponses",
+    "CrashWindow",
+    "FaultSchedule",
+    "PartitionWindow",
+    "bounded_failure_schedule",
+    "DolevYaoIntruder",
+    "tamper_body",
+    "tamper_commit_auth",
+]

@@ -1,0 +1,214 @@
+"""Misbehaving-party adapters (the attack catalogue of section 4.4).
+
+Each adapter installs an outbound interceptor on an
+:class:`~repro.core.node.OrganisationNode`, turning an honest node into
+one that omits, selectively sends, or corrupts its own protocol traffic.
+The adapters hold the node's real signing key (a misbehaving party *is* a
+key-holder), so whatever they emit is exactly what a dishonest
+organisation could emit — the protocol's safety guarantee must hold
+against all of them.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Optional
+
+from repro.core.node import OrganisationNode
+from repro.protocol.messages import (
+    COMMIT,
+    CONNECT_COMMIT,
+    CONNECT_RESPOND,
+    DISCONNECT_COMMIT,
+    DISCONNECT_RESPOND,
+    PROPOSE,
+    RESPOND,
+)
+
+Interceptor = Callable[[str, dict], "list[tuple[str, dict]]"]
+
+_COMMIT_TYPES = {COMMIT, CONNECT_COMMIT, DISCONNECT_COMMIT}
+_RESPOND_TYPES = {RESPOND, CONNECT_RESPOND, DISCONNECT_RESPOND}
+
+
+class ByzantineBehaviour:
+    """Base adapter: installs itself as the node's outbound interceptor."""
+
+    def __init__(self, node: OrganisationNode) -> None:
+        self.node = node
+        self.intercepted = 0
+        self._previous: "Optional[Interceptor]" = node.outbound_interceptor
+        node.outbound_interceptor = self._intercept
+
+    def uninstall(self) -> None:
+        self.node.outbound_interceptor = self._previous
+
+    def _intercept(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        base = ([(recipient, message)] if self._previous is None
+                else self._previous(recipient, message))
+        result: "list[tuple[str, dict]]" = []
+        for rec, msg in base:
+            result.extend(self.apply(rec, msg))
+        return result
+
+    def apply(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        raise NotImplementedError
+
+
+class SuppressCommits(ByzantineBehaviour):
+    """Proposer/sponsor that never sends ``m3`` (omission attack).
+
+    Responders block; every member of the recipient set holds evidence
+    that the run is still active, and any subsequent request reveals the
+    inconsistency (section 4.4).
+    """
+
+    def apply(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        if message.get("msg_type") in _COMMIT_TYPES:
+            self.intercepted += 1
+            return []
+        return [(recipient, message)]
+
+
+class SuppressResponses(ByzantineBehaviour):
+    """Recipient that obtains the proposed state but never responds.
+
+    It gains the content without giving a receipt, but can never
+    demonstrate the state is valid (no commit will exist for it).
+    """
+
+    def apply(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        if message.get("msg_type") in _RESPOND_TYPES:
+            self.intercepted += 1
+            return []
+        return [(recipient, message)]
+
+
+class SelectiveCommit(ByzantineBehaviour):
+    """Proposer that sends ``m3`` to only part of the recipient set.
+
+    The excluded members can show the run is still active, and any honest
+    member that received ``m3`` can relay it.
+    """
+
+    def __init__(self, node: OrganisationNode, excluded: "list[str]") -> None:
+        super().__init__(node)
+        self.excluded = set(excluded)
+
+    def apply(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        if message.get("msg_type") in _COMMIT_TYPES and recipient in self.excluded:
+            self.intercepted += 1
+            return []
+        return [(recipient, message)]
+
+
+class SelectiveProposal(ByzantineBehaviour):
+    """Proposer that sends ``m1`` to only part of the recipient set.
+
+    Unanimity then cannot be reached: the proposer cannot produce a valid
+    commit for anyone (the bundle would lack responses).
+    """
+
+    def __init__(self, node: OrganisationNode, excluded: "list[str]") -> None:
+        super().__init__(node)
+        self.excluded = set(excluded)
+
+    def apply(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        if message.get("msg_type") == PROPOSE and recipient in self.excluded:
+            self.intercepted += 1
+            return []
+        return [(recipient, message)]
+
+
+class DivergentBody(ByzantineBehaviour):
+    """Proposer that sends different state bodies to different members.
+
+    The signed proposal carries ``H(S_new)``, so victims detect that the
+    body they received does not hash to the identifier and reject; the
+    body-hash assertions in the responses expose the divergence to all.
+    """
+
+    def __init__(self, node: OrganisationNode, victim: str,
+                 mutate: "Callable[[object], object] | None" = None) -> None:
+        super().__init__(node)
+        self.victim = victim
+        self.mutate = mutate or _default_mutation
+
+    def apply(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        if message.get("msg_type") == PROPOSE and recipient == self.victim:
+            self.intercepted += 1
+            tampered = copy.deepcopy(message)
+            tampered["body"] = self.mutate(tampered.get("body"))
+            return [(recipient, tampered)]
+        return [(recipient, message)]
+
+
+class ForgedCommitAuth(ByzantineBehaviour):
+    """Proposer whose ``m3`` carries a wrong authenticator preimage.
+
+    Recipients verify ``H(auth)`` against the commitment in the signed
+    proposal and treat the commit as forged.
+    """
+
+    def __init__(self, node: OrganisationNode) -> None:
+        super().__init__(node)
+
+    def apply(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        if message.get("msg_type") in _COMMIT_TYPES:
+            self.intercepted += 1
+            tampered = copy.deepcopy(message)
+            tampered["auth"] = b"\x00" * len(bytes(tampered.get("auth", b"\x00")))
+            return [(recipient, tampered)]
+        return [(recipient, message)]
+
+
+class TamperedCommitResponses(ByzantineBehaviour):
+    """Proposer that alters a veto into an accept inside the bundle.
+
+    The altered response no longer verifies under the responder's
+    signature, so recipients reject the bundle and hold proof of
+    tampering.
+    """
+
+    def apply(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        if message.get("msg_type") in _COMMIT_TYPES:
+            tampered = copy.deepcopy(message)
+            changed = False
+            for response in tampered.get("responses", []):
+                decision = response.get("payload", {}).get("decision", {})
+                if decision.get("verdict") == "reject":
+                    decision["verdict"] = "accept"
+                    decision["diagnostics"] = []
+                    changed = True
+            if changed:
+                self.intercepted += 1
+                return [(recipient, tampered)]
+        return [(recipient, message)]
+
+
+class MessageRecorder(ByzantineBehaviour):
+    """Passive adapter that records outbound messages for replay attacks."""
+
+    def __init__(self, node: OrganisationNode,
+                 msg_type: "str | None" = None) -> None:
+        super().__init__(node)
+        self.msg_type = msg_type
+        self.recorded: "list[tuple[str, dict]]" = []
+
+    def apply(self, recipient: str, message: dict) -> "list[tuple[str, dict]]":
+        if self.msg_type is None or message.get("msg_type") == self.msg_type:
+            self.recorded.append((recipient, copy.deepcopy(message)))
+        return [(recipient, message)]
+
+    def replay(self, index: int = -1) -> None:
+        """Re-send a recorded message (replay attack, section 4.4)."""
+        recipient, message = self.recorded[index]
+        self.node.endpoint.send(recipient, copy.deepcopy(message))
+
+
+def _default_mutation(body: object) -> object:
+    if isinstance(body, dict):
+        mutated = dict(body)
+        mutated["__tampered__"] = True
+        return mutated
+    return {"__tampered__": True, "original": body}

@@ -1,0 +1,113 @@
+"""Scheduled crash / partition fault injection.
+
+Section 4.2's failure model: nodes crash but eventually recover;
+partitions heal eventually.  A :class:`FaultSchedule` scripts such
+bounded temporary failures against a simulated community so that
+liveness experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.community import Community
+from repro.core.runtime import SimRuntime
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Crash *party* at *start* and recover it at *end* (virtual time)."""
+
+    party: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Partition the network into *groups* between *start* and *end*."""
+
+    groups: "tuple[tuple[str, ...], ...]"
+    start: float
+    end: float
+
+
+class FaultSchedule:
+    """Arms scripted crash/partition windows on a simulated community."""
+
+    def __init__(self, community: Community) -> None:
+        if not isinstance(community.runtime, SimRuntime):
+            raise ConfigurationError("fault schedules require a SimRuntime")
+        self.community = community
+        self.network = community.runtime.network
+        self.crashes: "list[CrashWindow]" = []
+        self.partitions: "list[PartitionWindow]" = []
+
+    def crash(self, party: str, start: float, end: float) -> "FaultSchedule":
+        if end <= start:
+            raise ConfigurationError("crash window must have positive duration")
+        if party not in self.community.nodes:
+            raise ConfigurationError(f"unknown party {party!r}")
+        self.crashes.append(CrashWindow(party, start, end))
+        return self
+
+    def partition(self, groups: "list[list[str]]", start: float,
+                  end: float) -> "FaultSchedule":
+        if end <= start:
+            raise ConfigurationError("partition window must have positive duration")
+        self.partitions.append(PartitionWindow(
+            tuple(tuple(group) for group in groups), start, end,
+        ))
+        return self
+
+    def arm(self) -> None:
+        """Register every window with the simulator's timer wheel."""
+        now = self.network.now()
+        for window in self.crashes:
+            node = self.community.nodes[window.party]
+            self.network.schedule(max(0.0, window.start - now), node.crash)
+            self.network.schedule(max(0.0, window.end - now), node.recover)
+        for window in self.partitions:
+            groups = [set(group) for group in window.groups]
+            self.network.schedule(
+                max(0.0, window.start - now),
+                lambda gs=groups: self.network.partition(*gs),
+            )
+            self.network.schedule(
+                max(0.0, window.end - now), self.network.heal_partition
+            )
+
+    def total_downtime(self) -> float:
+        """Aggregate scheduled fault time (for benchmark reporting)."""
+        crash_time = sum(w.end - w.start for w in self.crashes)
+        partition_time = sum(w.end - w.start for w in self.partitions)
+        return crash_time + partition_time
+
+
+def bounded_failure_schedule(community: Community, parties: "list[str]",
+                             failures: int, period: float = 2.0,
+                             downtime: float = 0.5,
+                             start: float = 0.25,
+                             kind: str = "crash",
+                             seedless_round_robin: bool = True
+                             ) -> FaultSchedule:
+    """Build a simple bounded-failure schedule (experiment C2).
+
+    Injects *failures* temporary faults, one every *period* seconds, each
+    lasting *downtime* seconds, cycling round-robin over *parties*
+    (crash) or over two-way splits of the community (partition).
+    """
+    schedule = FaultSchedule(community)
+    names = list(parties)
+    for index in range(failures):
+        begin = start + index * period
+        end = begin + downtime
+        if kind == "crash":
+            schedule.crash(names[index % len(names)], begin, end)
+        elif kind == "partition":
+            isolated = names[index % len(names)]
+            rest = [n for n in community.names() if n != isolated]
+            schedule.partition([[isolated], rest], begin, end)
+        else:
+            raise ConfigurationError(f"unknown fault kind {kind!r}")
+    return schedule

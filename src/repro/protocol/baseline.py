@@ -1,0 +1,174 @@
+"""Baseline comparator: plain (non-signed) two-phase commit replication.
+
+The paper positions its protocol as "non-repudiable two-phase commit"
+(section 4.3).  This module implements the *repudiable* version — the
+same three message steps and unanimity rule with no signatures, no
+time-stamps, no evidence logging — so benchmarks can isolate the cost of
+the non-repudiation machinery (experiment C4 in DESIGN.md).
+
+It shares the sans-IO :class:`~repro.protocol.events.Output` shape so the
+benchmark harness drives both protocols identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.crypto.hashing import hash_value
+from repro.errors import ConcurrencyError
+from repro.protocol.events import Output, RunCompleted, StateInstalled, StateRolledBack
+
+PLAIN_PROPOSE = "plain_propose"
+PLAIN_VOTE = "plain_vote"
+PLAIN_COMMIT = "plain_commit"
+
+PlainValidator = Callable[[Any, Any, str], bool]
+
+
+@dataclass
+class _PlainRun:
+    run_id: str
+    role: str
+    proposer: str
+    new_state: Any
+    recipients: "list[str]"
+    votes: "dict[str, bool]" = field(default_factory=dict)
+    outcome: "Optional[str]" = None
+
+
+class PlainTwoPhaseEngine:
+    """Unsigned 2PC state replication for one party and one object."""
+
+    def __init__(self, party_id: str, object_name: str,
+                 members: "list[str]", initial_state: Any,
+                 validator: "PlainValidator | None" = None) -> None:
+        self.party_id = party_id
+        self.object_name = object_name
+        self.members = list(members)
+        self.state = initial_state
+        self.pending_state: Any = None
+        self.validator = validator or (lambda proposed, current, proposer: True)
+        self._runs: "dict[str, _PlainRun]" = {}
+        self._active: "Optional[str]" = None
+        self._seq = itertools.count(1)
+
+    @property
+    def busy(self) -> bool:
+        return self._active is not None
+
+    def propose(self, new_state: Any) -> "tuple[str, Output]":
+        if self.busy:
+            raise ConcurrencyError(f"{self.party_id}: plain run already active")
+        output = Output()
+        run_id = hash_value(
+            ["plain-run", self.object_name, self.party_id, next(self._seq)]
+        ).hex()
+        recipients = [m for m in self.members if m != self.party_id]
+        run = _PlainRun(
+            run_id=run_id, role="proposer", proposer=self.party_id,
+            new_state=new_state, recipients=recipients,
+        )
+        self._runs[run_id] = run
+        self._active = run_id
+        self.pending_state = new_state
+        message = {
+            "msg_type": PLAIN_PROPOSE,
+            "object": self.object_name,
+            "run_id": run_id,
+            "proposer": self.party_id,
+            "state": new_state,
+        }
+        for recipient in recipients:
+            output.send(recipient, message)
+        if not recipients:
+            self._finish(run, True, output)
+        return run_id, output
+
+    def handle(self, sender: str, message: dict) -> Output:
+        msg_type = message.get("msg_type")
+        if msg_type == PLAIN_PROPOSE:
+            return self._on_propose(sender, message)
+        if msg_type == PLAIN_VOTE:
+            return self._on_vote(sender, message)
+        if msg_type == PLAIN_COMMIT:
+            return self._on_commit(sender, message)
+        return Output()
+
+    def _on_propose(self, sender: str, message: dict) -> Output:
+        output = Output()
+        run_id = str(message.get("run_id", ""))
+        if run_id in self._runs:
+            return output
+        new_state = message.get("state")
+        accept = (not self.busy) and bool(
+            self.validator(new_state, self.state, sender)
+        )
+        run = _PlainRun(
+            run_id=run_id, role="responder", proposer=sender,
+            new_state=new_state, recipients=[],
+        )
+        self._runs[run_id] = run
+        if accept:
+            self._active = run_id
+        output.send(sender, {
+            "msg_type": PLAIN_VOTE,
+            "object": self.object_name,
+            "run_id": run_id,
+            "voter": self.party_id,
+            "accept": accept,
+        })
+        return output
+
+    def _on_vote(self, sender: str, message: dict) -> Output:
+        output = Output()
+        run = self._runs.get(str(message.get("run_id", "")))
+        if run is None or run.role != "proposer" or run.outcome is not None:
+            return output
+        if sender not in run.recipients or sender in run.votes:
+            return output
+        run.votes[sender] = bool(message.get("accept", False))
+        if set(run.votes) == set(run.recipients):
+            valid = all(run.votes.values())
+            commit = {
+                "msg_type": PLAIN_COMMIT,
+                "object": self.object_name,
+                "run_id": run.run_id,
+                "valid": valid,
+            }
+            for recipient in run.recipients:
+                output.send(recipient, commit)
+            self._finish(run, valid, output)
+        return output
+
+    def _on_commit(self, sender: str, message: dict) -> Output:
+        output = Output()
+        run = self._runs.get(str(message.get("run_id", "")))
+        if run is None or run.outcome is not None:
+            return output
+        self._finish(run, bool(message.get("valid", False)), output)
+        return output
+
+    def _finish(self, run: _PlainRun, valid: bool, output: Output) -> None:
+        run.outcome = "valid" if valid else "invalid"
+        if self._active == run.run_id:
+            self._active = None
+        if valid:
+            self.state = run.new_state
+            if run.role == "proposer":
+                self.pending_state = None
+            output.emit(StateInstalled(
+                object_name=self.object_name, state_id={},
+                state=self.state, run_id=run.run_id,
+            ))
+        elif run.role == "proposer":
+            self.pending_state = None
+            output.emit(StateRolledBack(
+                object_name=self.object_name, state_id={},
+                state=self.state, run_id=run.run_id,
+            ))
+        output.emit(RunCompleted(
+            run_id=run.run_id, object_name=self.object_name, kind="state",
+            valid=valid, role=run.role,
+        ))

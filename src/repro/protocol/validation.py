@@ -1,0 +1,148 @@
+"""Validation interfaces and decisions.
+
+"State changes are subject to a locally evaluated validation process.
+State validation is application-specific and may be arbitrarily complex"
+(section 3).  The protocol engines call out to a :class:`Validator` for
+every proposal they receive; the middleware's own systematic checks
+(invariants, signatures, message consistency) run before the upcall and
+can reject a proposal without consulting the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+ACCEPT = "accept"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """``D_j`` — a party's decision on the validity of a proposal.
+
+    A decision is accept or reject plus optional diagnostic information
+    (section 4.2).  The proposer's own decision is, by definition, accept.
+    """
+
+    verdict: str
+    diagnostics: "tuple[str, ...]" = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.verdict not in (ACCEPT, REJECT):
+            raise ValueError(f"verdict must be accept/reject, got {self.verdict!r}")
+
+    @property
+    def accepted(self) -> bool:
+        return self.verdict == ACCEPT
+
+    def to_dict(self) -> dict:
+        return {"verdict": self.verdict, "diagnostics": list(self.diagnostics)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "Decision":
+        return Decision(
+            verdict=str(data["verdict"]),
+            diagnostics=tuple(str(item) for item in data.get("diagnostics", [])),
+        )
+
+    @staticmethod
+    def accept() -> "Decision":
+        return Decision(ACCEPT)
+
+    @staticmethod
+    def reject(*diagnostics: str) -> "Decision":
+        return Decision(REJECT, tuple(diagnostics))
+
+
+class Validator:
+    """Application-specific validation upcalls.
+
+    Subclass (or use :class:`CallbackValidator`) to encode the local
+    policy of one organisation.  Each method corresponds to one of the
+    ``validate*`` upcalls in the B2BObject interface (Figure 4).
+    """
+
+    def validate_state(self, proposed: Any, current: Any, proposer: str) -> Decision:
+        """Validate a proposed overwrite of object state."""
+        return Decision.accept()
+
+    def validate_update(self, update: Any, resulting: Any, current: Any,
+                        proposer: str) -> Decision:
+        """Validate a proposed incremental update to object state."""
+        return self.validate_state(resulting, current, proposer)
+
+    def validate_connect(self, subject: str, members: "list[str]") -> Decision:
+        """Validate the admission of *subject* to the sharing group."""
+        return Decision.accept()
+
+    def validate_disconnect(self, subject: str, voluntary: bool,
+                            proposer: str) -> Decision:
+        """Validate a disconnection.
+
+        Voluntary disconnection cannot be vetoed (section 4.5.4); the
+        engine ignores a reject verdict in that case but still records the
+        diagnostics in evidence.
+        """
+        return Decision.accept()
+
+
+class AcceptAllValidator(Validator):
+    """Accepts everything; useful for plumbing tests and benchmarks."""
+
+
+class CallbackValidator(Validator):
+    """Validator assembled from plain callables."""
+
+    def __init__(self,
+                 state: "Optional[Callable[[Any, Any, str], Decision]]" = None,
+                 update: "Optional[Callable[[Any, Any, Any, str], Decision]]" = None,
+                 connect: "Optional[Callable[[str, list], Decision]]" = None,
+                 disconnect: "Optional[Callable[[str, bool, str], Decision]]" = None) -> None:
+        self._state = state
+        self._update = update
+        self._connect = connect
+        self._disconnect = disconnect
+
+    def validate_state(self, proposed: Any, current: Any, proposer: str) -> Decision:
+        if self._state is None:
+            return Decision.accept()
+        return self._state(proposed, current, proposer)
+
+    def validate_update(self, update: Any, resulting: Any, current: Any,
+                        proposer: str) -> Decision:
+        if self._update is not None:
+            return self._update(update, resulting, current, proposer)
+        return self.validate_state(resulting, current, proposer)
+
+    def validate_connect(self, subject: str, members: "list[str]") -> Decision:
+        if self._connect is None:
+            return Decision.accept()
+        return self._connect(subject, members)
+
+    def validate_disconnect(self, subject: str, voluntary: bool,
+                            proposer: str) -> Decision:
+        if self._disconnect is None:
+            return Decision.accept()
+        return self._disconnect(subject, voluntary, proposer)
+
+
+class StateMerger:
+    """How updates are applied to states (the ``applyUpdate`` hook).
+
+    The default treats an update as a dict of key/value assignments over a
+    dict-shaped state; applications override to match their state model.
+    The merge must be *pure*: recipients apply it to a copy of their
+    current state to verify the proposer's claimed resulting hash
+    (section 4.3.1).
+    """
+
+    def apply(self, state: Any, update: Any) -> Any:
+        if not isinstance(state, dict) or not isinstance(update, dict):
+            raise TypeError(
+                "default StateMerger requires dict states and dict updates; "
+                "provide a custom merger for other state shapes"
+            )
+        merged = dict(state)
+        merged.update(update)
+        return merged

@@ -1,0 +1,20 @@
+"""Persistence substrate: evidence logs, checkpoints, message journal."""
+
+from repro.storage.backends import FileRecordStore, MemoryRecordStore, RecordStore
+from repro.storage.checkpoint import Checkpoint, CheckpointStore
+from repro.storage.journal import RECEIVED, SENT, MessageJournal
+from repro.storage.log import GENESIS_HASH, LogEntry, NonRepudiationLog
+
+__all__ = [
+    "FileRecordStore",
+    "MemoryRecordStore",
+    "RecordStore",
+    "Checkpoint",
+    "CheckpointStore",
+    "RECEIVED",
+    "SENT",
+    "MessageJournal",
+    "GENESIS_HASH",
+    "LogEntry",
+    "NonRepudiationLog",
+]

@@ -1,0 +1,118 @@
+"""Record storage backends.
+
+The storage substrate persists three kinds of records (evidence log
+entries, state checkpoints, journalled protocol messages).  All three sit
+on this minimal append/scan abstraction, with an in-memory backend for
+simulation and a crash-safe file backend (JSON-lines with fsync) for real
+deployments and recovery tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.util.encoding import canonical_bytes, from_canonical_bytes
+
+
+class RecordStore:
+    """Append-only sequence of canonical-encodable records."""
+
+    def append(self, record: dict) -> int:
+        """Persist *record*, returning its zero-based index."""
+        raise NotImplementedError
+
+    def scan(self) -> "Iterator[dict]":
+        """Iterate every record in append order."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+
+class MemoryRecordStore(RecordStore):
+    """Volatile in-process store used by the simulation runtime."""
+
+    def __init__(self) -> None:
+        self._records: "list[bytes]" = []
+
+    def append(self, record: dict) -> int:
+        # Records are stored encoded so that mutation of the caller's dict
+        # after append cannot retroactively alter "persisted" history.
+        self._records.append(canonical_bytes(record))
+        return len(self._records) - 1
+
+    def scan(self) -> "Iterator[dict]":
+        for blob in self._records:
+            yield from_canonical_bytes(blob)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class FileRecordStore(RecordStore):
+    """Crash-safe JSON-lines file store.
+
+    Each record is one canonical-JSON line, flushed and fsync'd on append
+    (non-repudiation evidence must survive the crash-recovery model of
+    section 4.2).  On open, a trailing partial line from a mid-write crash
+    is detected and truncated away.
+    """
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self._path = path
+        self._fsync = fsync
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._count = self._repair_and_count()
+        self._file = open(path, "ab")
+
+    def _repair_and_count(self) -> int:
+        if not os.path.exists(self._path):
+            return 0
+        with open(self._path, "rb") as handle:
+            data = handle.read()
+        if not data:
+            return 0
+        if not data.endswith(b"\n"):
+            # A crash interrupted the final append; the record never became
+            # durable, so drop the partial line.
+            keep = data.rfind(b"\n") + 1
+            with open(self._path, "wb") as handle:
+                handle.write(data[:keep])
+            data = data[:keep]
+        return data.count(b"\n")
+
+    def append(self, record: dict) -> int:
+        line = canonical_bytes(record) + b"\n"
+        self._file.write(line)
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        index = self._count
+        self._count += 1
+        return index
+
+    def scan(self) -> "Iterator[dict]":
+        self._file.flush()
+        with open(self._path, "rb") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield from_canonical_bytes(line)
+                except ValueError as exc:
+                    raise StorageError(f"corrupt record in {self._path}: {exc}") from exc
+
+    def __len__(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()

@@ -1,0 +1,164 @@
+"""Eventual once-only delivery layer.
+
+The coordination protocols assume eventual once-only delivery
+(section 4.2).  :class:`ReliableEndpoint` masks an unreliable
+:class:`~repro.transport.base.Network` — lossy, duplicating, temporarily
+partitioned — behind exactly those semantics:
+
+* *eventual*: unacknowledged messages are retransmitted on a timer until
+  the recipient acknowledges them (or an optional retry bound is hit);
+* *once-only*: received data messages are de-duplicated by message id
+  before being passed to the upper layer.
+
+Acknowledgements are idempotent, so lost acks simply cause harmless
+retransmissions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+from typing import Callable, Optional
+
+from repro.errors import DeliveryError
+from repro.transport.base import Envelope, Network, TimerHandle
+
+DATA = "data"
+ACK = "ack"
+
+
+class ReliableEndpoint:
+    """One party's reliable attachment point on a raw network."""
+
+    def __init__(self, party_id: str, network: Network,
+                 retransmit_interval: float = 0.05,
+                 max_retries: "int | None" = None,
+                 backoff_factor: float = 1.5,
+                 max_interval: float = 2.0) -> None:
+        self.party_id = party_id
+        self._network = network
+        self._interval = retransmit_interval
+        self._max_retries = max_retries
+        self._backoff = backoff_factor
+        self._max_interval = max_interval
+        self._handler: "Optional[Callable[[str, dict], None]]" = None
+        self._failure_handler: "Optional[Callable[[str, dict, DeliveryError], None]]" = None
+        # The instance tag keeps message ids unique across process
+        # restarts: a rebuilt endpoint must not reuse ids its peers have
+        # already recorded in their duplicate-suppression sets.
+        self._instance = secrets.token_hex(4)
+        self._seq = itertools.count(1)
+        self._outstanding: "dict[str, _Pending]" = {}
+        self._delivered_ids: "set[str]" = set()
+        self._stopped = False
+        self.retransmissions = 0
+        network.register(party_id, self._on_raw_message)
+
+    def on_message(self, handler: "Callable[[str, dict], None]") -> None:
+        """Set the upper-layer handler: ``handler(sender, payload)``."""
+        self._handler = handler
+
+    def on_delivery_failure(self,
+                            handler: "Callable[[str, dict, DeliveryError], None]") -> None:
+        """Handler invoked when a bounded-retry send is abandoned."""
+        self._failure_handler = handler
+
+    def send(self, recipient: str, payload: dict) -> str:
+        """Reliably send *payload*; returns the message id."""
+        if self._stopped:
+            raise DeliveryError(f"{self.party_id}: endpoint is stopped")
+        msg_id = f"{self.party_id}/{self._instance}/{next(self._seq)}"
+        envelope = Envelope(
+            sender=self.party_id,
+            recipient=recipient,
+            payload={"type": DATA, "data": payload},
+            msg_id=msg_id,
+        )
+        pending = _Pending(envelope=envelope, interval=self._interval)
+        self._outstanding[msg_id] = pending
+        self._network.send(envelope)
+        self._arm_retransmit(pending)
+        return msg_id
+
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)
+
+    def stop(self) -> None:
+        """Cancel all timers; used at shutdown and in crash simulation."""
+        self._stopped = True
+        for pending in self._outstanding.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._outstanding.clear()
+
+    def restart(self) -> None:
+        """Resume after a simulated crash (outstanding sends were lost)."""
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _arm_retransmit(self, pending: "_Pending") -> None:
+        pending.timer = self._network.schedule(
+            pending.interval, lambda: self._retransmit(pending)
+        )
+
+    def _retransmit(self, pending: "_Pending") -> None:
+        msg_id = pending.envelope.msg_id
+        if self._stopped or msg_id not in self._outstanding:
+            return
+        if self._max_retries is not None and pending.attempts >= self._max_retries:
+            del self._outstanding[msg_id]
+            error = DeliveryError(
+                f"{self.party_id}: gave up sending {msg_id} to "
+                f"{pending.envelope.recipient} after {pending.attempts} retries"
+            )
+            if self._failure_handler is not None:
+                self._failure_handler(
+                    pending.envelope.recipient, pending.envelope.payload["data"], error
+                )
+            return
+        pending.attempts += 1
+        self.retransmissions += 1
+        self._network.send(pending.envelope)
+        pending.interval = min(pending.interval * self._backoff, self._max_interval)
+        self._arm_retransmit(pending)
+
+    def _on_raw_message(self, envelope: Envelope) -> None:
+        if self._stopped:
+            return
+        kind = envelope.payload.get("type")
+        if kind == ACK:
+            self._handle_ack(envelope.payload.get("ack_of", ""))
+        elif kind == DATA:
+            self._handle_data(envelope)
+
+    def _handle_ack(self, msg_id: str) -> None:
+        pending = self._outstanding.pop(msg_id, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    def _handle_data(self, envelope: Envelope) -> None:
+        # Always (re-)acknowledge: the sender may have missed a prior ack.
+        ack = Envelope(
+            sender=self.party_id,
+            recipient=envelope.sender,
+            payload={"type": ACK, "ack_of": envelope.msg_id},
+        )
+        self._network.send(ack)
+        if envelope.msg_id in self._delivered_ids:
+            return
+        self._delivered_ids.add(envelope.msg_id)
+        if self._handler is not None:
+            self._handler(envelope.sender, envelope.payload["data"])
+
+
+class _Pending:
+    __slots__ = ("envelope", "interval", "attempts", "timer")
+
+    def __init__(self, envelope: Envelope, interval: float) -> None:
+        self.envelope = envelope
+        self.interval = interval
+        self.attempts = 0
+        self.timer: "TimerHandle | None" = None

@@ -1,0 +1,160 @@
+"""TCP transport (standard-library sockets).
+
+The original prototype used Java RMI between organisations; this module is
+the real-network counterpart of the simulated substrate: one listener
+socket per registered party, canonical-JSON-lines framing, one short-lived
+connection per message.  Sends are best-effort — connection failures drop
+the message and the reliable layer's retransmission recovers, exactly as
+over the simulated lossy network.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import TransportError
+from repro.transport.base import Envelope, MessageHandler, Network, TimerHandle
+from repro.util.encoding import canonical_bytes, from_canonical_bytes
+
+_MAX_LINE = 16 * 1024 * 1024
+
+
+class TcpNetwork(Network):
+    """Real-socket network hosting any number of party endpoints.
+
+    In a single process it is self-contained: ``register`` assigns an
+    ephemeral port and records it in the address directory.  For
+    multi-process deployments, pre-populate the directory with
+    ``add_remote_party``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 2.0) -> None:
+        self._host = host
+        self._connect_timeout = connect_timeout
+        self._directory: "dict[str, tuple[str, int]]" = {}
+        self._listeners: "dict[str, _Listener]" = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def add_remote_party(self, party_id: str, host: str, port: int) -> None:
+        """Record the address of a party hosted by another process."""
+        with self._lock:
+            self._directory[party_id] = (host, port)
+
+    def address_of(self, party_id: str) -> "tuple[str, int]":
+        with self._lock:
+            address = self._directory.get(party_id)
+        if address is None:
+            raise TransportError(f"no known address for party {party_id!r}")
+        return address
+
+    def register(self, party_id: str, handler: MessageHandler) -> None:
+        with self._lock:
+            if self._closed:
+                raise TransportError("network is closed")
+            existing = self._listeners.get(party_id)
+            if existing is not None:
+                existing.handler = handler
+                return
+            listener = _Listener(self._host, handler)
+            listener.start()
+            self._listeners[party_id] = listener
+            self._directory[party_id] = (self._host, listener.port)
+
+    def send(self, envelope: Envelope) -> None:
+        try:
+            host, port = self.address_of(envelope.recipient)
+        except TransportError:
+            return  # unknown party: drop, retransmission may find it later
+        line = canonical_bytes(envelope.to_dict()) + b"\n"
+        try:
+            with socket.create_connection((host, port), timeout=self._connect_timeout) as conn:
+                conn.sendall(line)
+        except OSError:
+            return  # best-effort: the reliable layer retransmits
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        timer = threading.Timer(delay, callback)
+        timer.daemon = True
+        timer.start()
+        return TimerHandle(timer.cancel)
+
+    def now(self) -> float:
+        return time.time()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            listeners = list(self._listeners.values())
+            self._listeners.clear()
+        for listener in listeners:
+            listener.stop()
+
+
+class _Listener:
+    """Accept-loop thread delivering decoded envelopes to a handler."""
+
+    def __init__(self, host: str, handler: MessageHandler) -> None:
+        self.handler = handler
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, 0))
+        self._server.listen(64)
+        self.port = self._server.getsockname()[1]
+        self._running = False
+        self._thread: "Optional[threading.Thread]" = None
+
+    def start(self) -> None:
+        self._running = True
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        buffer = b""
+        try:
+            with conn:
+                conn.settimeout(5.0)
+                while True:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    buffer += chunk
+                    if len(buffer) > _MAX_LINE:
+                        return
+                    while b"\n" in buffer:
+                        line, buffer = buffer.split(b"\n", 1)
+                        if line:
+                            self._dispatch(line)
+        except OSError:
+            return
+
+    def _dispatch(self, line: bytes) -> None:
+        try:
+            envelope = Envelope.from_dict(from_canonical_bytes(line))
+        except (ValueError, KeyError, TypeError):
+            return  # malformed frame: ignore (intruders may inject garbage)
+        try:
+            self.handler(envelope)
+        except Exception:  # noqa: BLE001 - a handler bug must not kill the loop
+            return

@@ -1,0 +1,80 @@
+"""Canonical encoding for signable protocol data.
+
+Signatures are computed over a *canonical* byte representation so that two
+parties independently serialising the same logical value always obtain the
+same bytes.  The canonical form is JSON with sorted keys, no insignificant
+whitespace, and ``bytes`` values encoded as tagged base64 strings.  This
+mirrors the role DER/XER plays in classical non-repudiation systems while
+remaining dependency-free and human-debuggable.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+_BYTES_TAG = "__b64__"
+
+# JSON cannot represent bytes, tuples or non-string keys; canonicalisation
+# maps bytes to a tagged wrapper and tuples to lists.  Non-string dict keys
+# are rejected outright: silently coercing them would let two parties
+# disagree about what was signed.
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {_BYTES_TAG: base64.b64encode(value).decode("ascii")}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"canonical encoding requires str keys, got {key!r}")
+            if key == _BYTES_TAG:
+                raise ValueError(f"dict key {_BYTES_TAG!r} is reserved")
+            encoded[key] = _encode_value(item)
+        return encoded
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        # Floats round-trip exactly through repr in Python 3, but different
+        # producers may still format them differently; protocol data should
+        # use ints or strings.  Accept floats but normalise via repr.
+        return {"__float__": repr(value)}
+    raise TypeError(f"value of type {type(value).__name__} is not canonically encodable")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if set(value) == {_BYTES_TAG}:
+            return base64.b64decode(value[_BYTES_TAG])
+        if set(value) == {"__float__"}:
+            return float(value["__float__"])
+        return {key: _decode_value(item) for key, item in value.items()}
+    return value
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Serialise *value* to its unique canonical byte string."""
+    encoded = _encode_value(value)
+    text = json.dumps(encoded, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+    return text.encode("ascii")
+
+
+def from_canonical_bytes(data: bytes) -> Any:
+    """Inverse of :func:`canonical_bytes`."""
+    return _decode_value(json.loads(data.decode("ascii")))
+
+
+def b64(data: bytes) -> str:
+    """Compact base64 helper used in logs and debug output."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def unb64(text: str) -> bytes:
+    """Inverse of :func:`b64`."""
+    return base64.b64decode(text.encode("ascii"))

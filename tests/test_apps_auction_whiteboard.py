@@ -1,0 +1,213 @@
+"""Auction and whiteboard applications (section 2 scenario 3; section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.auction import AuctionHouse, AuctionObject, new_auction, validate_transition
+from repro.apps.whiteboard import (
+    WhiteboardClient,
+    WhiteboardObject,
+    new_board,
+    next_turn,
+)
+from repro.core import Community, SimRuntime
+from repro.errors import RuleViolation, ValidationFailed
+
+
+class TestAuctionRules:
+    def test_new_auction(self):
+        auction = new_auction("vase", reserve=50)
+        assert auction["open"] and auction["highest"] is None
+
+    def _bid(self, current, bidder, amount, house):
+        proposed = dict(current)
+        proposed["highest"] = {"bidder": bidder, "amount": amount,
+                               "house": house}
+        proposed["bids"] = current["bids"] + 1
+        return proposed
+
+    def test_first_bid_must_meet_reserve(self):
+        auction = new_auction("vase", reserve=50)
+        ok, _ = validate_transition(auction, self._bid(auction, "a", 50, "H"))
+        assert ok
+        ok, diag = validate_transition(auction, self._bid(auction, "a", 49, "H"))
+        assert not ok and "reserve" in diag
+
+    def test_bids_strictly_increase(self):
+        auction = new_auction("vase")
+        after_first = self._bid(auction, "a", 100, "H")
+        ok, diag = validate_transition(after_first,
+                                       self._bid(after_first, "b", 100, "H"))
+        assert not ok and "exceed" in diag
+
+    def test_item_immutable(self):
+        auction = new_auction("vase")
+        proposed = self._bid(auction, "a", 10, "H")
+        proposed["item"] = "painting"
+        ok, diag = validate_transition(auction, proposed)
+        assert not ok and "immutable" in diag
+
+    def test_close_requires_unchanged_history(self):
+        auction = self._bid(new_auction("vase"), "a", 10, "H")
+        closed = dict(auction)
+        closed["open"] = False
+        closed["winner"] = {"bidder": "a", "amount": 10}
+        ok, _ = validate_transition(auction, closed)
+        assert ok
+        cheat = dict(closed)
+        cheat["winner"] = {"bidder": "z", "amount": 10}
+        ok, diag = validate_transition(auction, cheat)
+        assert not ok and "winner" in diag
+
+    def test_no_bids_after_close(self):
+        auction = new_auction("vase")
+        auction["open"] = False
+        ok, diag = validate_transition(auction, self._bid(auction, "a", 10, "H"))
+        assert not ok and "closed" in diag
+
+
+def make_auction_service(n_houses=3, seed=0, reserve=100):
+    names = [f"House{i + 1}" for i in range(n_houses)]
+    community = Community(names, runtime=SimRuntime(seed=seed))
+    objects = {n: AuctionObject(item="painting", reserve=reserve)
+               for n in names}
+    controllers = community.found_object("auction", objects)
+    houses = {n: AuctionHouse(controllers[n]) for n in names}
+    return community, houses, objects
+
+
+class TestDistributedAuction:
+    def test_bids_through_different_houses(self):
+        community, houses, objects = make_auction_service()
+        houses["House1"].place_bid("alice", 100)
+        houses["House2"].place_bid("bob", 150)
+        houses["House3"].place_bid("carol", 175)
+        community.settle(1.0)
+        for obj in objects.values():
+            assert obj.highest == {"bidder": "carol", "amount": 175,
+                                   "house": "House3"}
+
+    def test_low_bid_vetoed_regardless_of_house(self):
+        community, houses, objects = make_auction_service(seed=1)
+        houses["House1"].place_bid("alice", 150)
+        for house in houses.values():
+            with pytest.raises(ValidationFailed):
+                house.place_bid("mallory", 120)
+
+    def test_house_cannot_submit_bids_for_another_house(self):
+        community, houses, objects = make_auction_service(seed=2)
+        controller = houses["House1"].controller
+        controller.enter()
+        controller.overwrite()
+        state = objects["House1"].get_state()
+        state["highest"] = {"bidder": "shill", "amount": 500,
+                            "house": "House2"}  # forged provenance
+        state["bids"] = 1
+        objects["House1"].apply_state(state)
+        with pytest.raises(ValidationFailed) as excinfo:
+            controller.leave()
+        assert any("through itself" in d for d in excinfo.value.diagnostics)
+
+    def test_close_and_winner(self):
+        community, houses, objects = make_auction_service(seed=3)
+        houses["House1"].place_bid("alice", 120)
+        houses["House2"].place_bid("bob", 140)
+        houses["House3"].close_auction()
+        community.settle(1.0)
+        for obj in objects.values():
+            assert not obj.is_open
+            assert obj.winner == {"bidder": "bob", "amount": 140}
+        with pytest.raises(ValidationFailed):
+            houses["House1"].place_bid("late", 200)
+
+    def test_bid_amount_validated_locally(self):
+        community, houses, objects = make_auction_service(seed=4)
+        with pytest.raises(RuleViolation):
+            houses["House1"].place_bid("alice", -5)
+
+    def test_every_house_logged_evidence_of_every_bid(self):
+        community, houses, objects = make_auction_service(seed=5)
+        houses["House1"].place_bid("alice", 110)
+        houses["House2"].place_bid("bob", 130)
+        community.settle(1.0)
+        for name in houses:
+            log = community.node(name).ctx.evidence
+            decisions = list(log.entries("authenticated-decision"))
+            assert len(decisions) == 2
+            assert log.verify_chain() > 0
+
+
+class TestWhiteboardRules:
+    def test_new_board(self):
+        board = new_board(["A", "B"])
+        assert board["turn"] == "A" and board["strokes"] == []
+
+    def test_new_board_requires_participants(self):
+        with pytest.raises(RuleViolation):
+            new_board([])
+
+    def test_next_turn_rotates(self):
+        assert next_turn(["A", "B", "C"], "A") == "B"
+        assert next_turn(["A", "B", "C"], "C") == "A"
+
+
+class TestCoordinatedWhiteboard:
+    def _setup(self, seed=0):
+        names = ["A", "B", "C"]
+        community = Community(names, runtime=SimRuntime(seed=seed))
+        objects = {n: WhiteboardObject(names) for n in names}
+        controllers = community.found_object("board", objects)
+        clients = {n: WhiteboardClient(controllers[n]) for n in names}
+        return community, clients, objects
+
+    def test_turn_rotation(self):
+        community, clients, objects = self._setup()
+        clients["A"].draw([[0, 0]])
+        clients["B"].draw([[1, 1]])
+        clients["C"].draw([[2, 2]])
+        clients["A"].draw([[3, 3]])
+        community.settle(1.0)
+        for obj in objects.values():
+            assert len(obj.strokes) == 4
+            assert obj.turn == "B"
+
+    def test_out_of_turn_vetoed(self):
+        community, clients, objects = self._setup(seed=1)
+        with pytest.raises(ValidationFailed) as excinfo:
+            clients["B"].draw([[0, 0]])
+        assert any("turn" in d for d in excinfo.value.diagnostics)
+
+    def test_strokes_are_append_only(self):
+        community, clients, objects = self._setup(seed=2)
+        clients["A"].draw([[0, 0]])
+        community.settle(1.0)
+        controller = clients["B"].controller
+        controller.enter()
+        controller.overwrite()
+        state = objects["B"].get_state()
+        state["strokes"] = [{"author": "B", "points": [[9, 9]],
+                             "colour": "red"}]  # replaces A's stroke
+        state["turn"] = "C"
+        objects["B"].apply_state(state)
+        with pytest.raises(ValidationFailed) as excinfo:
+            controller.leave()
+        assert any("append-only" in d for d in excinfo.value.diagnostics)
+
+    def test_stroke_author_must_be_proposer(self):
+        community, clients, objects = self._setup(seed=3)
+        controller = clients["A"].controller
+        controller.enter()
+        controller.overwrite()
+        state = objects["A"].get_state()
+        state["strokes"].append({"author": "B", "points": [[1, 1]],
+                                 "colour": "black"})
+        state["turn"] = "B"
+        objects["A"].apply_state(state)
+        with pytest.raises(ValidationFailed):
+            controller.leave()
+
+    def test_empty_stroke_rejected(self):
+        community, clients, objects = self._setup(seed=4)
+        with pytest.raises(ValidationFailed):
+            clients["A"].draw([])

@@ -1,0 +1,195 @@
+"""Order processing application (section 5.2, Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.orders import (
+    ROLE_APPROVER,
+    ROLE_CUSTOMER,
+    ROLE_DISPATCHER,
+    ROLE_SUPPLIER,
+    OrderClient,
+    OrderObject,
+    diff_orders,
+    empty_order,
+)
+from repro.core import Community, SimRuntime
+from repro.errors import RuleViolation, ValidationFailed
+from repro.protocol.validation import Decision
+
+
+class TestDiff:
+    def test_add_item(self):
+        new = {"items": {"w": {"quantity": 1, "price": None}}, "delivery": None}
+        assert diff_orders(empty_order(), new) == ["add:w"]
+
+    def test_add_priced_item_includes_price_change(self):
+        new = {"items": {"w": {"quantity": 1, "price": 5}}, "delivery": None}
+        assert set(diff_orders(empty_order(), new)) == {"add:w", "price:w"}
+
+    def test_quantity_and_price_changes(self):
+        old = {"items": {"w": {"quantity": 1, "price": None, "approved": False}},
+               "delivery": None}
+        new = {"items": {"w": {"quantity": 3, "price": 7, "approved": False}},
+               "delivery": None}
+        assert set(diff_orders(old, new)) == {"quantity:w", "price:w"}
+
+    def test_remove_item(self):
+        old = {"items": {"w": {"quantity": 1, "price": None}}, "delivery": None}
+        assert diff_orders(old, empty_order()) == ["remove:w"]
+
+    def test_delivery_change(self):
+        new = {"items": {}, "delivery": {"terms": "48h", "committed": True}}
+        assert diff_orders(empty_order(), new) == ["delivery"]
+
+    def test_no_change(self):
+        assert diff_orders(empty_order(), empty_order()) == []
+
+
+class TestRoleValidation:
+    ROLES = {"Customer": ROLE_CUSTOMER, "Supplier": ROLE_SUPPLIER,
+             "Approver": ROLE_APPROVER, "Dispatcher": ROLE_DISPATCHER}
+
+    def validate(self, current, proposed, proposer):
+        order = OrderObject(self.ROLES)
+        return order.validate_state(proposed, current, proposer)
+
+    def test_customer_may_add_and_requantify(self):
+        new = {"items": {"w": {"quantity": 2, "price": None}}, "delivery": None}
+        assert self.validate(empty_order(), new, "Customer").accepted
+
+    def test_customer_may_not_price(self):
+        new = {"items": {"w": {"quantity": 2, "price": 9}}, "delivery": None}
+        decision = self.validate(empty_order(), new, "Customer")
+        assert not decision.accepted
+
+    def test_supplier_may_price(self):
+        old = {"items": {"w": {"quantity": 2, "price": None, "approved": False}},
+               "delivery": None}
+        new = {"items": {"w": {"quantity": 2, "price": 9, "approved": False}},
+               "delivery": None}
+        assert self.validate(old, new, "Supplier").accepted
+
+    def test_supplier_may_not_amend_anything_else(self):
+        old = {"items": {"w": {"quantity": 2, "price": None, "approved": False}},
+               "delivery": None}
+        new = {"items": {"w": {"quantity": 5, "price": 9, "approved": False}},
+               "delivery": None}
+        decision = self.validate(old, new, "Supplier")
+        assert not decision.accepted
+        assert any("quantity" in d for d in decision.diagnostics)
+
+    def test_approver_approves_only(self):
+        old = {"items": {"w": {"quantity": 2, "price": 9, "approved": False}},
+               "delivery": None}
+        new = {"items": {"w": {"quantity": 2, "price": 9, "approved": True}},
+               "delivery": None}
+        assert self.validate(old, new, "Approver").accepted
+        other = {"items": {"w": {"quantity": 3, "price": 9, "approved": True}},
+                 "delivery": None}
+        assert not self.validate(old, other, "Approver").accepted
+
+    def test_dispatcher_commits_delivery_only(self):
+        new = {"items": {}, "delivery": {"terms": "48h", "committed": True}}
+        assert self.validate(empty_order(), new, "Dispatcher").accepted
+        added = {"items": {"w": {"quantity": 1, "price": None}},
+                 "delivery": None}
+        assert not self.validate(empty_order(), added, "Dispatcher").accepted
+
+    def test_unknown_proposer_rejected(self):
+        assert not self.validate(empty_order(), empty_order(), "Stranger").accepted
+
+    def test_quantity_must_be_positive(self):
+        new = {"items": {"w": {"quantity": 0, "price": None}}, "delivery": None}
+        assert not self.validate(empty_order(), new, "Customer").accepted
+
+    def test_unknown_role_rejected_at_construction(self):
+        with pytest.raises(RuleViolation):
+            OrderObject({"X": "king"})
+
+
+def make_two_party(seed=0):
+    community = Community(["Customer", "Supplier"], runtime=SimRuntime(seed=seed))
+    roles = {"Customer": ROLE_CUSTOMER, "Supplier": ROLE_SUPPLIER}
+    objects = {n: OrderObject(roles) for n in community.names()}
+    controllers = community.found_object("order", objects)
+    return (community, OrderClient(controllers["Customer"]),
+            OrderClient(controllers["Supplier"]), objects)
+
+
+class TestFigure7:
+    def test_exact_figure7_sequence(self):
+        community, customer, supplier, objects = make_two_party()
+        # customer orders 2 widget1s: valid
+        customer.add_item("widget1", 2)
+        # supplier prices widget1 at 10: validated and reflected
+        supplier.price_item("widget1", 10)
+        community.settle(1.0)
+        assert objects["Customer"].item("widget1") == {
+            "quantity": 2, "price": 10, "approved": False}
+        # customer amends the order for 10 widget2s: valid
+        customer.add_item("widget2", 10)
+        community.settle(1.0)
+        assert objects["Supplier"].item("widget2")["quantity"] == 10
+        # supplier prices widget2 AND changes quantity: rejected as a whole
+        with pytest.raises(ValidationFailed) as excinfo:
+            supplier.price_and_change_quantity("widget2", 20, 5)
+        assert any("quantity" in d for d in excinfo.value.diagnostics)
+        community.settle(1.0)
+        # the customer's copy is untouched by the invalid update
+        assert objects["Customer"].item("widget2") == {
+            "quantity": 10, "price": None, "approved": False}
+        # and the supplier's replica rolled back
+        assert objects["Supplier"].item("widget2") == {
+            "quantity": 10, "price": None, "approved": False}
+
+    def test_supplier_retry_with_only_price_succeeds(self):
+        community, customer, supplier, objects = make_two_party(seed=1)
+        customer.add_item("widget2", 10)
+        with pytest.raises(ValidationFailed):
+            supplier.price_and_change_quantity("widget2", 20, 5)
+        supplier.price_item("widget2", 20)
+        community.settle(1.0)
+        assert objects["Customer"].item("widget2")["price"] == 20
+
+    def test_customer_cannot_price(self):
+        community, customer, supplier, objects = make_two_party(seed=2)
+        customer.add_item("widget1", 2)
+        with pytest.raises(ValidationFailed):
+            # impersonate a pricing action through the customer client
+            customer._mutate(lambda state: state["items"]["widget1"].update(price=1))
+
+
+class TestFourPartyOrder:
+    def test_full_workflow(self):
+        names = ["Customer", "Supplier", "Approver", "Dispatcher"]
+        community = Community(names, runtime=SimRuntime(seed=3))
+        roles = {"Customer": ROLE_CUSTOMER, "Supplier": ROLE_SUPPLIER,
+                 "Approver": ROLE_APPROVER, "Dispatcher": ROLE_DISPATCHER}
+        objects = {n: OrderObject(roles) for n in names}
+        controllers = community.found_object("order", objects)
+        clients = {n: OrderClient(controllers[n]) for n in names}
+
+        clients["Customer"].add_item("widget1", 3)
+        clients["Supplier"].price_item("widget1", 30)
+        clients["Approver"].approve_item("widget1")
+        clients["Dispatcher"].commit_delivery("within 48h")
+        community.settle(2.0)
+        for name in names:
+            item = objects[name].item("widget1")
+            assert item == {"quantity": 3, "price": 30, "approved": True}
+            assert objects[name].get_state()["delivery"] == {
+                "terms": "within 48h", "committed": True}
+
+    def test_dispatcher_cannot_approve(self):
+        names = ["Customer", "Supplier", "Approver", "Dispatcher"]
+        community = Community(names, runtime=SimRuntime(seed=4))
+        roles = {"Customer": ROLE_CUSTOMER, "Supplier": ROLE_SUPPLIER,
+                 "Approver": ROLE_APPROVER, "Dispatcher": ROLE_DISPATCHER}
+        objects = {n: OrderObject(roles) for n in names}
+        controllers = community.found_object("order", objects)
+        clients = {n: OrderClient(controllers[n]) for n in names}
+        clients["Customer"].add_item("widget1", 3)
+        with pytest.raises(ValidationFailed):
+            clients["Dispatcher"].approve_item("widget1")

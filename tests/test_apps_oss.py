@@ -1,0 +1,195 @@
+"""Dispersed OSS application (section 2, scenario 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.oss import (
+    ROLE_CUSTOMER,
+    ROLE_PROVIDER,
+    TICKET_ACKNOWLEDGED,
+    TICKET_CLOSED,
+    TICKET_OPEN,
+    TICKET_RESOLVED,
+    ServiceClient,
+    ServiceObject,
+    diff_service,
+    new_service,
+)
+from repro.core import Community, SimRuntime
+from repro.errors import RuleViolation, ValidationFailed
+
+ROLES = {"Provider": ROLE_PROVIDER, "Customer": ROLE_CUSTOMER}
+
+
+def make_pair(seed=0, **service_kwargs):
+    community = Community(["Provider", "Customer"],
+                          runtime=SimRuntime(seed=seed))
+    replicas = {n: ServiceObject(ROLES, state=new_service(**service_kwargs))
+                for n in community.names()}
+    controllers = community.found_object("service", replicas)
+    return (community, ServiceClient(controllers["Provider"]),
+            ServiceClient(controllers["Customer"]), replicas)
+
+
+class TestDiff:
+    def test_provisioning_change(self):
+        old = new_service()
+        new = new_service()
+        new["provisioning"]["capacity_mbps"] = 500
+        assert diff_service(old, new) == ["provisioning:capacity_mbps"]
+
+    def test_configuration_change(self):
+        old = new_service()
+        new = new_service()
+        new["configuration"]["endpoints"] = ["a"]
+        assert diff_service(old, new) == ["configuration:endpoints"]
+
+    def test_ticket_lifecycle_changes(self):
+        old = new_service()
+        new = new_service()
+        new["tickets"]["T1"] = {"summary": "x", "status": TICKET_OPEN,
+                                "opened_by": "Customer"}
+        assert diff_service(old, new) == ["ticket-open:T1"]
+        newer = new_service()
+        newer["tickets"]["T1"] = {"summary": "x", "status": TICKET_ACKNOWLEDGED,
+                                  "opened_by": "Customer"}
+        assert diff_service(new, newer) == ["ticket-update:T1"]
+        assert diff_service(new, old) == ["ticket-delete:T1"]
+
+
+class TestRoleSeparation:
+    def test_customer_tailors_configuration(self):
+        community, provider, customer, replicas = make_pair()
+        customer.set_qos_class("silver")
+        customer.set_endpoints(["london-01", "leeds-02"])
+        customer.set_alert_contact("noc@acme.example")
+        community.settle()
+        assert replicas["Provider"].configuration["qos_class"] == "silver"
+        assert replicas["Provider"].configuration["endpoints"] == [
+            "london-01", "leeds-02"]
+
+    def test_provider_controls_provisioning(self):
+        community, provider, customer, replicas = make_pair(seed=1)
+        provider.set_capacity(500)
+        provider.set_maintenance_window("sat-03:00")
+        community.settle()
+        assert replicas["Customer"].provisioning["capacity_mbps"] == 500
+
+    def test_provider_cannot_tailor_configuration(self):
+        community, provider, customer, replicas = make_pair(seed=2)
+        with pytest.raises(ValidationFailed) as excinfo:
+            provider.set_endpoints(["sneaky"])
+        assert "may not tailor" in excinfo.value.diagnostics[0]
+
+    def test_customer_cannot_change_provisioning(self):
+        community, provider, customer, replicas = make_pair(seed=3)
+        with pytest.raises(ValidationFailed) as excinfo:
+            customer.set_capacity(10_000)
+        assert "provisioning" in excinfo.value.diagnostics[0]
+
+    def test_qos_bounded_by_purchased_tier(self):
+        community, provider, customer, replicas = make_pair(
+            seed=4, purchased_tier="silver")
+        customer.set_qos_class("silver")  # at the tier: fine
+        with pytest.raises(ValidationFailed) as excinfo:
+            customer.set_qos_class("gold")
+        assert "exceeds the purchased tier" in excinfo.value.diagnostics[0]
+
+    def test_unknown_qos_class_rejected(self):
+        community, provider, customer, replicas = make_pair(seed=5)
+        with pytest.raises(ValidationFailed):
+            customer.set_qos_class("diamond")
+
+    def test_endpoint_limit(self):
+        community, provider, customer, replicas = make_pair(seed=6)
+        with pytest.raises(ValidationFailed):
+            customer.set_endpoints([f"ep{i}" for i in range(17)])
+
+    def test_unknown_role_at_construction(self):
+        with pytest.raises(RuleViolation):
+            ServiceObject({"X": "janitor"})
+
+    def test_stranger_rejected(self):
+        service = ServiceObject(ROLES)
+        decision = service.validate_state(new_service(), new_service(),
+                                          "Stranger")
+        assert not decision.accepted
+
+
+class TestTicketWorkflow:
+    def test_full_lifecycle(self):
+        community, provider, customer, replicas = make_pair(seed=10)
+        customer.open_ticket("T1", "packet loss on london-01")
+        provider.acknowledge_ticket("T1")
+        provider.resolve_ticket("T1")
+        customer.close_ticket("T1")
+        community.settle()
+        for replica in replicas.values():
+            assert replica.ticket("T1")["status"] == TICKET_CLOSED
+
+    def test_customer_can_reopen_unfixed_ticket(self):
+        community, provider, customer, replicas = make_pair(seed=11)
+        customer.open_ticket("T1", "still broken")
+        provider.acknowledge_ticket("T1")
+        provider.resolve_ticket("T1")
+        customer.reopen_ticket("T1")
+        community.settle()
+        assert replicas["Provider"].ticket("T1")["status"] == TICKET_OPEN
+
+    def test_only_customer_opens_tickets(self):
+        community, provider, customer, replicas = make_pair(seed=12)
+        with pytest.raises(ValidationFailed) as excinfo:
+            provider.open_ticket("T1", "self-reported")
+        assert "only the customer opens" in excinfo.value.diagnostics[0]
+
+    def test_provider_cannot_close(self):
+        community, provider, customer, replicas = make_pair(seed=13)
+        customer.open_ticket("T1", "x")
+        provider.acknowledge_ticket("T1")
+        provider.resolve_ticket("T1")
+        with pytest.raises(ValidationFailed) as excinfo:
+            provider.close_ticket("T1")
+        assert "only the customer" in excinfo.value.diagnostics[0]
+
+    def test_illegal_transition_rejected(self):
+        community, provider, customer, replicas = make_pair(seed=14)
+        customer.open_ticket("T1", "x")
+        with pytest.raises(ValidationFailed) as excinfo:
+            provider.resolve_ticket("T1")  # must acknowledge first
+        assert "illegal ticket transition" in excinfo.value.diagnostics[0]
+
+    def test_tickets_never_deleted(self):
+        community, provider, customer, replicas = make_pair(seed=15)
+        customer.open_ticket("T1", "x")
+        community.settle()
+        controller = customer.controller
+        controller.enter()
+        controller.overwrite()
+        state = replicas["Customer"].get_state()
+        del state["tickets"]["T1"]
+        replicas["Customer"].apply_state(state)
+        with pytest.raises(ValidationFailed) as excinfo:
+            controller.leave()
+        assert "never deleted" in excinfo.value.diagnostics[0]
+
+    def test_summary_is_immutable(self):
+        community, provider, customer, replicas = make_pair(seed=16)
+        customer.open_ticket("T1", "original")
+        community.settle()
+        controller = customer.controller
+        controller.enter()
+        controller.overwrite()
+        state = replicas["Customer"].get_state()
+        state["tickets"]["T1"]["summary"] = "rewritten history"
+        replicas["Customer"].apply_state(state)
+        with pytest.raises(ValidationFailed) as excinfo:
+            controller.leave()
+        assert "only a ticket's status" in excinfo.value.diagnostics[0]
+
+    def test_duplicate_ticket_id_rejected_locally(self):
+        community, provider, customer, replicas = make_pair(seed=17)
+        customer.open_ticket("T1", "x")
+        community.settle()
+        with pytest.raises(RuleViolation):
+            customer.open_ticket("T1", "again")

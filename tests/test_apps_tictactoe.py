@@ -1,0 +1,204 @@
+"""Tic-Tac-Toe application (section 5.1, Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.tictactoe import (
+    CROSS,
+    DRAW,
+    EMPTY,
+    NOUGHT,
+    TicTacToeObject,
+    TicTacToePlayer,
+    initial_board,
+    legal_successor,
+    winner_of,
+)
+from repro.core import Community, SimRuntime
+from repro.errors import RuleViolation, ValidationFailed
+
+
+class TestRules:
+    def test_initial_board(self):
+        state = initial_board()
+        assert state["board"] == [EMPTY] * 9
+        assert state["next"] == CROSS and state["winner"] == EMPTY
+
+    def test_winner_rows_columns_diagonals(self):
+        assert winner_of(["X", "X", "X"] + [EMPTY] * 6) == CROSS
+        assert winner_of(["O", EMPTY, EMPTY] * 3) == NOUGHT
+        assert winner_of(["X", EMPTY, EMPTY,
+                          EMPTY, "X", EMPTY,
+                          EMPTY, EMPTY, "X"]) == CROSS
+
+    def test_draw(self):
+        board = ["X", "O", "X",
+                 "X", "O", "O",
+                 "O", "X", "X"]
+        assert winner_of(board) == DRAW
+
+    def test_open_game(self):
+        assert winner_of([EMPTY] * 9) == EMPTY
+
+    def test_legal_move(self):
+        current = initial_board()
+        proposed = {
+            "board": [EMPTY] * 4 + [CROSS] + [EMPTY] * 4,
+            "next": NOUGHT, "winner": EMPTY,
+        }
+        ok, _ = legal_successor(current, proposed)
+        assert ok
+
+    @pytest.mark.parametrize("mutation, fragment", [
+        # two squares at once
+        (lambda p: p["board"].__setitem__(0, CROSS), "exactly one"),
+        # wrong mark for the turn
+        (lambda p: p["board"].__setitem__(4, NOUGHT), "turn"),
+        # inconsistent turn bookkeeping
+        (lambda p: p.update(next=CROSS), "pass"),
+        # inconsistent winner
+        (lambda p: p.update(winner=CROSS), "winner"),
+    ])
+    def test_illegal_successors(self, mutation, fragment):
+        current = initial_board()
+        proposed = {
+            "board": [EMPTY] * 4 + [CROSS] + [EMPTY] * 4,
+            "next": NOUGHT, "winner": EMPTY,
+        }
+        mutation(proposed)
+        ok, diagnostic = legal_successor(current, proposed)
+        assert not ok and fragment in diagnostic
+
+    def test_cannot_overwrite_claimed_square(self):
+        current = initial_board()
+        current["board"][4] = CROSS
+        current["next"] = NOUGHT
+        proposed = dict(current)
+        proposed = {
+            "board": list(current["board"]), "next": CROSS, "winner": EMPTY,
+        }
+        proposed["board"][4] = NOUGHT
+        ok, diagnostic = legal_successor(current, proposed)
+        assert not ok and "already claimed" in diagnostic
+
+    def test_no_moves_after_game_over(self):
+        current = {
+            "board": ["X", "X", "X"] + [EMPTY] * 6,
+            "next": NOUGHT, "winner": CROSS,
+        }
+        proposed = {
+            "board": ["X", "X", "X", "O"] + [EMPTY] * 5,
+            "next": CROSS, "winner": CROSS,
+        }
+        ok, diagnostic = legal_successor(current, proposed)
+        assert not ok and "over" in diagnostic
+
+
+def play_game(seed=0):
+    community = Community(["Cross", "Nought"], runtime=SimRuntime(seed=seed))
+    players = {"Cross": CROSS, "Nought": NOUGHT}
+    objects = {n: TicTacToeObject(players) for n in ["Cross", "Nought"]}
+    controllers = community.found_object("game", objects)
+    cross = TicTacToePlayer(controllers["Cross"], CROSS)
+    nought = TicTacToePlayer(controllers["Nought"], NOUGHT)
+    return community, cross, nought, objects
+
+
+class TestCoordinatedGame:
+    def test_figure5_sequence(self):
+        """The exact Figure 5 scenario: three moves, then Cross attempts
+        to pre-empt Nought by marking a square with a zero."""
+        community, cross, nought, objects = play_game()
+        cross.save_move(4)   # middle row, centre
+        nought.save_move(0)  # top row, left
+        cross.save_move(5)   # middle row, right
+        with pytest.raises(ValidationFailed) as excinfo:
+            cross.save_move(7, mark=NOUGHT)
+        assert any("may not place" in d for d in excinfo.value.diagnostics)
+        community.settle(1.0)
+        # The agreed game state does not reflect the cheat; the opponent
+        # holds evidence of the attempt.
+        assert objects["Nought"].board == objects["Cross"].board
+        assert objects["Nought"].board[7] == EMPTY
+        assert objects["Nought"].board[4] == CROSS
+        log = community.node("Nought").ctx.evidence
+        rejected = [entry for entry in log.entries("response-sent")
+                    if entry.payload["response"]["payload"]["decision"]["verdict"] == "reject"]
+        assert rejected
+
+    def test_out_of_turn_move_rejected(self):
+        community, cross, nought, objects = play_game(seed=1)
+        cross.save_move(4)
+        with pytest.raises(ValidationFailed):
+            cross.save_move(5)  # it's Nought's turn
+
+    def test_complete_game_to_victory(self):
+        community, cross, nought, objects = play_game(seed=2)
+        cross.save_move(0)
+        nought.save_move(3)
+        cross.save_move(1)
+        nought.save_move(4)
+        cross.save_move(2)  # top row: X wins
+        community.settle(1.0)
+        assert objects["Nought"].winner == CROSS
+        with pytest.raises(ValidationFailed):
+            nought.save_move(5)  # game over
+
+    def test_load_board(self):
+        community, cross, nought, objects = play_game(seed=3)
+        cross.save_move(4)
+        community.settle(1.0)
+        board = nought.load_board()
+        assert board[4] == CROSS
+
+    def test_cell_bounds(self):
+        community, cross, nought, objects = play_game(seed=4)
+        with pytest.raises(RuleViolation):
+            cross.save_move(9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=8), min_size=9,
+                    max_size=9, unique=True))
+    def test_random_full_games_stay_consistent(self, cells):
+        """Property: alternating players filling random cells always keep
+        both replicas identical and the winner consistent."""
+        community, cross, nought, objects = play_game(seed=sum(cells))
+        players = [cross, nought]
+        turn = 0
+        for cell in cells:
+            community.settle(1.0)  # let the previous m3 land everywhere
+            if objects["Cross"].winner:
+                break
+            players[turn % 2].save_move(cell)
+            turn += 1
+        community.settle(2.0)
+        assert objects["Cross"].board == objects["Nought"].board
+        assert objects["Cross"].winner == winner_of(objects["Cross"].board)
+
+
+class TestProposerIdentityRule:
+    def test_non_player_party_may_relay(self):
+        # A TTP (not in the players map) may propose any legal successor.
+        players = {"Cross": CROSS, "Nought": NOUGHT}
+        game = TicTacToeObject(players)
+        proposed = {
+            "board": [EMPTY] * 4 + [CROSS] + [EMPTY] * 4,
+            "next": NOUGHT, "winner": EMPTY,
+        }
+        decision = game.validate_state(proposed, initial_board(), "TTP")
+        assert decision.accepted
+
+    def test_player_cannot_place_opponents_mark(self):
+        players = {"Cross": CROSS, "Nought": NOUGHT}
+        game = TicTacToeObject(players)
+        proposed = {
+            "board": [NOUGHT] + [EMPTY] * 8,
+            "next": CROSS, "winner": EMPTY,
+        }
+        current = initial_board()
+        current["next"] = NOUGHT
+        decision = game.validate_state(proposed, current, "Cross")
+        assert not decision.accepted

@@ -1,0 +1,136 @@
+"""Plain-2PC baseline engine and the agent relay primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import StateRelay
+from repro.core import Community, DictB2BObject, SimRuntime
+from repro.errors import ConcurrencyError
+from repro.protocol.baseline import PlainTwoPhaseEngine
+from repro.protocol.events import RunCompleted, StateInstalled, StateRolledBack
+
+
+class PlainHarness:
+    def __init__(self, names, validator=None):
+        self.engines = {
+            name: PlainTwoPhaseEngine(name, "obj", names, {"v": 0},
+                                      validator=validator)
+            for name in names
+        }
+        self.events: "dict[str, list]" = {name: [] for name in names}
+
+    def pump(self, source, output):
+        queue = [(source, output)]
+        while queue:
+            sender, out = queue.pop(0)
+            self.events[sender].extend(out.events)
+            for recipient, message in out.messages:
+                queue.append(
+                    (recipient, self.engines[recipient].handle(sender, message))
+                )
+
+
+class TestPlainTwoPhase:
+    def test_unanimous_accept(self):
+        harness = PlainHarness(["A", "B", "C"])
+        _, output = harness.engines["A"].propose({"v": 1})
+        harness.pump("A", output)
+        for engine in harness.engines.values():
+            assert engine.state == {"v": 1}
+        assert any(isinstance(e, StateInstalled) for e in harness.events["A"])
+
+    def test_veto_rejects_everywhere(self):
+        def refuse(proposed, current, proposer):
+            return proposer != "A"
+
+        harness = PlainHarness(["A", "B"], validator=refuse)
+        _, output = harness.engines["A"].propose({"v": 1})
+        harness.pump("A", output)
+        for engine in harness.engines.values():
+            assert engine.state == {"v": 0}
+        assert any(isinstance(e, StateRolledBack) for e in harness.events["A"])
+
+    def test_busy_proposer_rejected(self):
+        harness = PlainHarness(["A", "B"])
+        # strip B's engine so the vote never returns
+        harness.engines["A"].propose({"v": 1})
+        with pytest.raises(ConcurrencyError):
+            harness.engines["A"].propose({"v": 2})
+
+    def test_busy_responder_votes_no(self):
+        harness = PlainHarness(["A", "B", "C"])
+        # A proposes but C's vote is held back manually: deliver m1 only
+        _, output = harness.engines["A"].propose({"v": 1})
+        propose_msg = output.messages[0][1]
+        harness.engines["B"].handle("A", propose_msg)  # B accepts, now busy
+        out_b = harness.engines["B"].handle("A", propose_msg)  # duplicate: noop
+        assert out_b.messages == []
+        # B is busy; a competing proposal from C gets a NO vote from B
+        _, output_c = harness.engines["C"].propose({"v": 2})
+        votes = []
+        for recipient, message in output_c.messages:
+            reply = harness.engines[recipient].handle("C", message)
+            votes.extend(m for _, m in reply.messages)
+        b_vote = [v for v in votes if v.get("voter") == "B"][0]
+        assert b_vote["accept"] is False
+
+    def test_singleton_group(self):
+        harness = PlainHarness(["A"])
+        _, output = harness.engines["A"].propose({"v": 9})
+        harness.pump("A", output)
+        assert harness.engines["A"].state == {"v": 9}
+
+    def test_events_report_run_completion(self):
+        harness = PlainHarness(["A", "B"])
+        run_id, output = harness.engines["A"].propose({"v": 1})
+        harness.pump("A", output)
+        completed = [e for e in harness.events["A"]
+                     if isinstance(e, RunCompleted)]
+        assert completed and completed[0].run_id == run_id
+
+
+class TestStateRelayUnit:
+    def _setup(self, transform=None, seed=0):
+        community = Community(["A", "Hub", "B"], runtime=SimRuntime(seed=seed))
+        left = {n: DictB2BObject() for n in ["A", "Hub"]}
+        right = {n: DictB2BObject() for n in ["Hub", "B"]}
+        left_ctrl = community.found_object("left", left)
+        community.found_object("right", right)
+        relay = StateRelay(community.node("Hub"), "left", "right",
+                           transform=transform)
+        return community, left_ctrl, left, right, relay
+
+    def test_no_relay_when_already_converged(self):
+        community, left_ctrl, left, right, relay = self._setup()
+        # both sides start identical (empty) — no relay should fire
+        community.settle(1.0)
+        assert relay.relayed == 0
+
+    def test_relay_counts(self):
+        community, left_ctrl, left, right, relay = self._setup()
+        controller = left_ctrl["A"]
+        for i in range(3):
+            controller.enter()
+            controller.overwrite()
+            left["A"].set_attribute("k", i)
+            controller.leave()
+            community.settle(2.0)
+        assert relay.relayed == 3
+        assert right["B"].get_attribute("k") == 2
+
+    def test_transform_applied(self):
+        def redact(state):
+            return {key: value for key, value in state.items()
+                    if not key.startswith("secret")}
+
+        community, left_ctrl, left, right, relay = self._setup(transform=redact)
+        controller = left_ctrl["A"]
+        controller.enter()
+        controller.overwrite()
+        left["A"].set_attribute("public", 1)
+        left["A"].set_attribute("secret_code", "xyz")
+        controller.leave()
+        community.settle(2.0)
+        assert right["B"].get_attribute("public") == 1
+        assert right["B"].get_attribute("secret_code") is None

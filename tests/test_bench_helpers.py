@@ -1,0 +1,118 @@
+"""Benchmark harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    assert_replicas_converged,
+    build_community,
+    found_dict_object,
+    protocol_message_count,
+    run_state_workload,
+)
+from repro.bench.metrics import LatencyRecorder, MessageCounter, format_table
+from repro.bench.workload import (
+    counter_states,
+    large_state,
+    order_edit_sequence,
+    random_updates,
+)
+from repro.util.encoding import canonical_bytes
+
+
+class TestMetrics:
+    def test_latency_summary(self):
+        recorder = LatencyRecorder()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            recorder.record(value)
+        summary = recorder.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0 and summary["max"] == 4.0
+        assert summary["p50"] == 2.0
+        assert summary["stddev"] == pytest.approx(1.29099, abs=1e-4)
+
+    def test_empty_recorder(self):
+        summary = LatencyRecorder().summary()
+        assert summary["count"] == 0 and summary["mean"] == 0.0
+
+    def test_percentile_bounds(self):
+        recorder = LatencyRecorder([1.0, 2.0, 3.0])
+        assert recorder.percentile(0.0) == 1.0
+        assert recorder.percentile(1.0) == 3.0
+
+    def test_message_counter_delta(self):
+        community = build_community(2, seed=1)
+        network = community.runtime.network
+        counter = MessageCounter()
+        counter.start(network)
+        controllers, objects = found_dict_object(community)
+        run_state_workload(community, controllers, counter_states(1))
+        delta = counter.delta(network)
+        assert delta["delivered"] > 0
+
+    def test_format_table(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+
+class TestWorkloads:
+    def test_counter_states_distinct(self):
+        states = list(counter_states(5))
+        assert len(states) == 5
+        assert len({canonical_bytes(s) for s in states}) == 5
+
+    def test_random_updates_deterministic(self):
+        assert list(random_updates(5, seed=3)) == list(random_updates(5, seed=3))
+        assert list(random_updates(5, seed=3)) != list(random_updates(5, seed=4))
+
+    def test_large_state_size(self):
+        state = large_state(4096)
+        assert len(canonical_bytes(state)) >= 4096
+
+    def test_order_edit_sequence(self):
+        edits = list(order_edit_sequence(2))
+        assert edits[0] == ("customer", "widget1", 1)
+        assert edits[1][0] == "supplier"
+        assert len(edits) == 4
+
+
+class TestHarness:
+    def test_run_state_workload_and_convergence(self):
+        community = build_community(3, seed=5)
+        controllers, objects = found_dict_object(community)
+        summary = run_state_workload(community, controllers, counter_states(4))
+        assert summary["completed"] == 4 and summary["rejected"] == 0
+        assert summary["latency"]["count"] == 4
+        state = assert_replicas_converged(controllers)
+        assert state["counter"] == 4
+
+    def test_divergence_detected(self):
+        community = build_community(2, seed=6)
+        controllers, objects = found_dict_object(community)
+        objects["Org2"]._attributes["rogue"] = True
+        community.node("Org2").party.session("shared").state.agreed_state = {
+            "rogue": True}
+        with pytest.raises(AssertionError, match="divergence"):
+            assert_replicas_converged(controllers)
+
+    def test_protocol_message_count_formula(self):
+        assert protocol_message_count(2) == 3
+        assert protocol_message_count(5) == 12
+
+    def test_measured_messages_match_formula(self):
+        # raw protocol messages = 3(n-1); the reliable layer adds one ack
+        # per message on a loss-free network.
+        for n in (2, 3, 4):
+            community = build_community(n, seed=7)
+            controllers, objects = found_dict_object(community)
+            community.settle()
+            counter = MessageCounter()
+            counter.start(community.runtime.network)
+            summary = run_state_workload(community, controllers,
+                                         counter_states(1))
+            delta = counter.delta(community.runtime.network)
+            assert delta["delivered"] == 2 * protocol_message_count(n)

@@ -1,0 +1,341 @@
+"""The public B2BObjects API: controller scoping, modes, wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ASYNCHRONOUS,
+    DEFERRED_SYNCHRONOUS,
+    SYNCHRONOUS,
+    CompositeB2BObject,
+    DictB2BObject,
+    wrap_object,
+)
+from repro.core.controller import CoordinationTicket
+from repro.core.modes import validate_mode
+from repro.errors import ConfigurationError, ProtocolError, ValidationFailed
+from repro.protocol.events import RunCompleted
+from repro.protocol.validation import Decision
+
+
+def found_dict(community, names=None, object_name="shared", **kwargs):
+    names = names or community.names()
+    objects = {name: DictB2BObject() for name in names}
+    controllers = community.found_object(object_name, objects, **kwargs)
+    return controllers, objects
+
+
+class TestScoping:
+    def test_overwrite_scope_coordinates_on_final_leave(self, community2):
+        controllers, objects = found_dict(community2)
+        controller = controllers["Org1"]
+        controller.enter()
+        controller.overwrite()
+        objects["Org1"].set_attribute("k", 1)
+        controller.leave()
+        community2.settle()
+        assert objects["Org2"].get_attribute("k") == 1
+
+    def test_nested_scopes_roll_up_to_one_coordination(self, community2):
+        controllers, objects = found_dict(community2)
+        controller = controllers["Org1"]
+        network = community2.runtime.network
+        before = network.stats.sent
+        controller.enter()
+        controller.overwrite()
+        objects["Org1"].set_attribute("a", 1)
+        controller.enter()
+        objects["Org1"].set_attribute("b", 2)
+        controller.leave()  # inner: no coordination yet
+        assert objects["Org2"].get_attribute("a") is None
+        controller.leave()  # outer: coordinates both changes at once
+        community2.settle()
+        assert objects["Org2"].attributes() == {"a": 1, "b": 2}
+        # exactly one protocol run: one proposal evidence record
+        log = community2.node("Org1").ctx.evidence
+        assert len(list(log.entries("proposal-sent"))) == 1
+
+    def test_examine_scope_does_not_coordinate(self, community2):
+        controllers, objects = found_dict(community2)
+        controller = controllers["Org1"]
+        log = community2.node("Org1").ctx.evidence
+        controller.enter()
+        controller.examine()
+        _ = objects["Org1"].attributes()
+        assert controller.leave() is None
+        assert list(log.entries("proposal-sent")) == []
+
+    def test_plain_scope_defaults_to_read(self, community2):
+        controllers, _ = found_dict(community2)
+        controller = controllers["Org1"]
+        controller.enter()
+        assert controller.leave() is None
+
+    def test_mixing_update_and_overwrite_rejected(self, community2):
+        controllers, _ = found_dict(community2)
+        controller = controllers["Org1"]
+        controller.enter()
+        controller.overwrite()
+        with pytest.raises(ProtocolError, match="mix"):
+            controller.update()
+        controller._access = None
+        controller.leave()
+
+    def test_access_outside_scope_rejected(self, community2):
+        controllers, _ = found_dict(community2)
+        controller = controllers["Org1"]
+        with pytest.raises(ProtocolError, match="outside"):
+            controller.overwrite()
+        with pytest.raises(ProtocolError, match="outside"):
+            controller.leave()
+
+    def test_update_scope_sends_delta(self, community2):
+        controllers, objects = found_dict(community2)
+        c1 = controllers["Org1"]
+        c1.enter(); c1.overwrite()
+        objects["Org1"].set_attribute("base", 1)
+        c1.leave()
+        community2.settle()
+        c1.enter(); c1.update()
+        objects["Org1"].set_attribute("delta", 2)
+        c1.leave()
+        community2.settle()
+        assert objects["Org2"].attributes() == {"base": 1, "delta": 2}
+
+    def test_sync_coord_forces_coordination(self, community2):
+        controllers, objects = found_dict(community2)
+        objects["Org1"]._attributes["direct"] = 1  # out-of-band mutation
+        controllers["Org1"].sync_coord()
+        community2.settle()
+        assert objects["Org2"].get_attribute("direct") == 1
+
+    def test_validation_response_hook_records_decisions(self, community2):
+        controllers, objects = found_dict(community2)
+        c1 = controllers["Org1"]
+        c1.enter(); c1.overwrite()
+        objects["Org1"].set_attribute("k", 1)
+        c1.leave()
+        community2.settle()
+        # the *responder* ran validation
+        assert controllers["Org2"].last_validation is not None
+        kind, decision = controllers["Org2"].last_validation
+        assert kind == "state" and decision.accepted
+
+
+class TestModes:
+    def test_validate_mode(self):
+        assert validate_mode(SYNCHRONOUS) == SYNCHRONOUS
+        with pytest.raises(ValueError):
+            validate_mode("psychic")
+
+    def test_synchronous_raises_on_veto(self, community2):
+        controllers, objects = found_dict(community2)
+
+        class Veto(DictB2BObject):
+            def validate_state(self, proposed, current, proposer):
+                return Decision.reject("nope")
+
+        community2.node("Org2").party.session("shared").state.validator = (
+            __import__("repro.protocol.validation",
+                       fromlist=["CallbackValidator"]).CallbackValidator(
+                state=lambda p, c, pr: Decision.reject("nope"))
+        )
+        c1 = controllers["Org1"]
+        c1.enter(); c1.overwrite()
+        objects["Org1"].set_attribute("k", 1)
+        with pytest.raises(ValidationFailed) as excinfo:
+            c1.leave()
+        assert any("nope" in d for d in excinfo.value.diagnostics)
+        assert objects["Org1"].get_attribute("k") is None  # rolled back
+
+    def test_deferred_mode_returns_pending_ticket(self, community2):
+        controllers, objects = found_dict(community2)
+        c1 = controllers["Org1"]
+        c1.mode = DEFERRED_SYNCHRONOUS
+        c1.enter(); c1.overwrite()
+        objects["Org1"].set_attribute("k", 1)
+        ticket = c1.leave()
+        assert isinstance(ticket, CoordinationTicket)
+        assert not ticket.done
+        c1.coord_commit(ticket)
+        assert ticket.done and ticket.valid
+
+    def test_deferred_mode_commit_raises_on_veto(self, community2):
+        controllers, objects = found_dict(community2)
+        community2.node("Org2").party.session("shared").state.validator = (
+            __import__("repro.protocol.validation",
+                       fromlist=["CallbackValidator"]).CallbackValidator(
+                state=lambda p, c, pr: Decision.reject("vetoed"))
+        )
+        c1 = controllers["Org1"]
+        c1.mode = DEFERRED_SYNCHRONOUS
+        c1.enter(); c1.overwrite()
+        objects["Org1"].set_attribute("k", 1)
+        ticket = c1.leave()
+        with pytest.raises(ValidationFailed):
+            c1.coord_commit(ticket)
+
+    def test_asynchronous_mode_invokes_coord_callback(self, community2):
+        controllers, objects = found_dict(community2)
+        received = []
+
+        c1 = controllers["Org1"]
+        c1.mode = ASYNCHRONOUS
+        objects["Org1"].coord_callback = received.append
+        c1.enter(); c1.overwrite()
+        objects["Org1"].set_attribute("k", 1)
+        ticket = c1.leave()
+        community2.settle()
+        assert ticket.done and ticket.valid
+        assert any(isinstance(e, RunCompleted) for e in received)
+
+
+class TestWrapper:
+    class Ledger:
+        def __init__(self):
+            self._state = {"total": 0}
+
+        def get_state(self):
+            return dict(self._state)
+
+        def apply_state(self, state):
+            self._state = dict(state)
+
+        def deposit(self, amount):
+            self._state["total"] += amount
+            return self._state["total"]
+
+        def total(self):
+            return self._state["total"]
+
+    def test_wrapped_write_method_coordinates(self, community2):
+        from repro.core.wrapper import WrappedB2BObject
+        ledgers = {n: self.Ledger() for n in community2.names()}
+        objects = {n: WrappedB2BObject(ledger)
+                   for n, ledger in ledgers.items()}
+        controllers = community2.found_object("ledger", objects)
+        proxy = wrap_object(ledgers["Org1"], controllers["Org1"],
+                            write_methods=["deposit"], read_methods=["total"])
+        assert proxy.deposit(10) == 10
+        community2.settle()
+        assert ledgers["Org2"].total() == 10
+        assert proxy.total() == 10
+
+    def test_wrapped_validation_rule(self, community2):
+        from repro.core.wrapper import WrappedB2BObject
+
+        def no_negative(proposed, current, proposer):
+            if proposed["total"] < 0:
+                return Decision.reject("negative balance")
+            return Decision.accept()
+
+        ledgers = {n: self.Ledger() for n in community2.names()}
+        objects = {n: WrappedB2BObject(ledger, validate_state=no_negative)
+                   for n, ledger in ledgers.items()}
+        controllers = community2.found_object("ledger", objects)
+        proxy = wrap_object(ledgers["Org1"], controllers["Org1"],
+                            write_methods=["deposit"])
+        with pytest.raises(ValidationFailed):
+            proxy.deposit(-5)
+        community2.settle()
+        assert ledgers["Org1"].total() == 0  # rolled back
+        assert ledgers["Org2"].total() == 0
+
+    def test_wrapper_requires_accessors(self):
+        from repro.core.wrapper import WrappedB2BObject
+        with pytest.raises(ConfigurationError):
+            WrappedB2BObject(object())
+
+    def test_proxy_rejects_unknown_methods(self, community2):
+        ledgers = {n: self.Ledger() for n in community2.names()}
+        from repro.core.wrapper import WrappedB2BObject
+        objects = {n: WrappedB2BObject(ledger) for n, ledger in ledgers.items()}
+        controllers = community2.found_object("ledger", objects)
+        with pytest.raises(ConfigurationError):
+            wrap_object(ledgers["Org1"], controllers["Org1"],
+                        write_methods=["no_such_method"])
+
+    def test_proxy_failure_inside_method_closes_scope(self, community2):
+        ledgers = {n: self.Ledger() for n in community2.names()}
+        from repro.core.wrapper import WrappedB2BObject
+        objects = {n: WrappedB2BObject(ledger) for n, ledger in ledgers.items()}
+        controllers = community2.found_object("ledger", objects)
+        proxy = wrap_object(ledgers["Org1"], controllers["Org1"],
+                            write_methods=["deposit"])
+        with pytest.raises(TypeError):
+            proxy.deposit("not-a-number")
+        # scope was unwound; a subsequent good call works
+        proxy.deposit(5)
+        community2.settle()
+        assert ledgers["Org2"].total() == 5
+
+
+class TestComposite:
+    def test_composite_coordinates_children_atomically(self, community2):
+        composites = {}
+        children = {}
+        for name in community2.names():
+            order = DictB2BObject()
+            invoice = DictB2BObject()
+            children[name] = (order, invoice)
+            composites[name] = CompositeB2BObject(
+                {"order": order, "invoice": invoice}
+            )
+        controllers = community2.found_object("bundle", composites)
+        c1 = controllers["Org1"]
+        order1, invoice1 = children["Org1"]
+        c1.enter(); c1.overwrite()
+        order1.set_attribute("widget", 2)
+        invoice1.set_attribute("amount", 20)
+        c1.leave()
+        community2.settle()
+        order2, invoice2 = children["Org2"]
+        assert order2.get_attribute("widget") == 2
+        assert invoice2.get_attribute("amount") == 20
+
+    def test_child_veto_rejects_whole_composite(self, community2):
+        class PickyChild(DictB2BObject):
+            def validate_state(self, proposed, current, proposer):
+                if proposed.get("bad"):
+                    return Decision.reject("child says no")
+                return Decision.accept()
+
+        composites = {}
+        children = {}
+        for name in community2.names():
+            good = DictB2BObject()
+            picky = PickyChild()
+            children[name] = (good, picky)
+            composites[name] = CompositeB2BObject({"good": good, "picky": picky})
+        controllers = community2.found_object("bundle", composites)
+        c1 = controllers["Org1"]
+        good1, picky1 = children["Org1"]
+        c1.enter(); c1.overwrite()
+        good1.set_attribute("x", 1)
+        picky1.set_attribute("bad", True)
+        with pytest.raises(ValidationFailed) as excinfo:
+            c1.leave()
+        assert any("picky: child says no" in d
+                   for d in excinfo.value.diagnostics)
+        community2.settle()
+        good2, picky2 = children["Org2"]
+        assert good2.get_attribute("x") is None  # atomicity: nothing landed
+
+    def test_composite_requires_children(self):
+        with pytest.raises(ConfigurationError):
+            CompositeB2BObject({})
+
+    def test_composite_state_shape_enforced(self):
+        composite = CompositeB2BObject({"a": DictB2BObject()})
+        with pytest.raises(ConfigurationError):
+            composite.apply_state({"b": {}})
+
+    def test_composite_update_merge(self):
+        composite = CompositeB2BObject(
+            {"a": DictB2BObject({"x": 1}), "b": DictB2BObject()}
+        )
+        merged = composite.merge_update(
+            {"a": {"x": 1}, "b": {}}, {"a": {"y": 2}}
+        )
+        assert merged == {"a": {"x": 1, "y": 2}, "b": {}}

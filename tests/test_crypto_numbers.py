@@ -1,0 +1,104 @@
+"""Number theory substrate: primality, primes, modular arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.numbers import (
+    bytes_to_int,
+    extended_gcd,
+    generate_prime,
+    int_to_bytes,
+    is_probable_prime,
+    mod_inverse,
+)
+from repro.crypto.prng import DeterministicRandomSource
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 97, 7919, 104729, 2**31 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 15, 561, 1105, 1729, 2465, 6601,  # Carmichael
+                    2**31, 104729 * 7919]
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites_including_carmichael(self, c):
+        assert not is_probable_prime(c)
+
+    def test_large_prime_uses_random_witnesses(self):
+        rng = DeterministicRandomSource(1)
+        # 2^521 - 1 is a Mersenne prime above the deterministic bound.
+        assert is_probable_prime(2**521 - 1, rng.random_below)
+
+    def test_large_composite(self):
+        rng = DeterministicRandomSource(1)
+        assert not is_probable_prime((2**521 - 1) * 3, rng.random_below)
+
+    def test_large_candidate_requires_rng(self):
+        with pytest.raises(ValueError):
+            is_probable_prime(2**400 + 1)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_agrees_with_trial_division(self, n):
+        by_division = n > 1 and all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_probable_prime(n) == by_division
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = DeterministicRandomSource(2)
+        for bits in (16, 32, 64):
+            p = generate_prime(bits, rng.random_below)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p, rng.random_below)
+
+    def test_top_two_bits_set(self):
+        rng = DeterministicRandomSource(3)
+        p = generate_prime(32, rng.random_below)
+        assert p >> 30 == 0b11
+
+    def test_too_small_rejected(self):
+        rng = DeterministicRandomSource(4)
+        with pytest.raises(ValueError):
+            generate_prime(4, rng.random_below)
+
+
+class TestExtendedGcd:
+    @given(st.integers(min_value=1, max_value=10**9),
+           st.integers(min_value=1, max_value=10**9))
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+
+class TestModInverse:
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_inverse_mod_prime(self, a):
+        p = 1_000_003  # prime
+        if a % p == 0:
+            return
+        inv = mod_inverse(a, p)
+        assert (a * inv) % p == 1
+
+    def test_no_inverse_when_not_coprime(self):
+        with pytest.raises(ValueError):
+            mod_inverse(6, 9)
+
+
+class TestByteConversion:
+    @given(st.integers(min_value=0, max_value=2**256))
+    def test_round_trip(self, n):
+        assert bytes_to_int(int_to_bytes(n)) == n
+
+    def test_fixed_length_padding(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)

@@ -1,0 +1,186 @@
+"""Adversarial membership: attacks on connect/disconnect/evict (§4.4/§4.5)."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.protocol.events import ConnectionDecided, MisbehaviourEvent
+from repro.protocol.messages import (
+    CONNECT_COMMIT,
+    CONNECT_WELCOME,
+    SignedPart,
+)
+
+from tests.engine_helpers import EngineHarness, found
+
+
+def make_harness(members, seed=0):
+    harness = EngineHarness(list(members), seed=seed)
+    found(harness, "obj", list(members), {"v": 0})
+    return harness
+
+
+class _Interceptor:
+    """Capture and optionally suppress messages during a pump."""
+
+    def __init__(self, harness, msg_type):
+        self.harness = harness
+        self.msg_type = msg_type
+        self.captured = []
+
+    def run_capturing(self, source, output, suppress=False):
+        """Pump while capturing (and optionally holding back) msg_type."""
+        queue = [(source, output)]
+        while queue:
+            sender, out = queue.pop(0)
+            self.harness.events[sender].extend(out.events)
+            for recipient, message in out.messages:
+                if message.get("msg_type") == self.msg_type:
+                    self.captured.append((sender, recipient,
+                                          copy.deepcopy(message)))
+                    if suppress:
+                        continue
+                queue.append(
+                    (recipient,
+                     self.harness.parties[recipient].handle(sender, message))
+                )
+
+
+class TestForgedWelcome:
+    def _join_outputs(self, harness, subject, sponsor):
+        harness.add_party(subject)
+        return harness.party(subject).join_object("obj", sponsor)
+
+    def test_welcome_with_wrong_state_rejected(self):
+        harness = make_harness(["A", "B", "C"], seed=1)
+        interceptor = _Interceptor(harness, CONNECT_WELCOME)
+        output = self._join_outputs(harness, "D", "C")
+        interceptor.run_capturing("D", output, suppress=True)
+        assert interceptor.captured
+        sender, recipient, welcome = interceptor.captured[0]
+        tampered = copy.deepcopy(welcome)
+        tampered["agreed_state"] = {"v": 666}  # sponsor lies about the state
+        harness.deliver(sender, recipient, tampered)
+        decided = harness.events_of("D", ConnectionDecided)
+        assert decided and not decided[0].accepted
+        assert any("does not match the agreed identifier" in d
+                   for d in decided[0].diagnostics)
+        assert not harness.party("D").is_connected("obj")
+
+    def test_welcome_with_pruned_attestations_rejected(self):
+        harness = make_harness(["A", "B", "C"], seed=2)
+        interceptor = _Interceptor(harness, CONNECT_WELCOME)
+        output = self._join_outputs(harness, "D", "C")
+        interceptor.run_capturing("D", output, suppress=True)
+        sender, recipient, welcome = interceptor.captured[0]
+        tampered = copy.deepcopy(welcome)
+        tampered["commit"]["responses"] = []  # hide the members' decisions
+        harness.deliver(sender, recipient, tampered)
+        decided = harness.events_of("D", ConnectionDecided)
+        assert decided and not decided[0].accepted
+        assert any("incomplete" in d for d in decided[0].diagnostics)
+
+    def test_two_party_welcome_state_still_verified(self):
+        # With a singleton group there is no commit bundle, but the state
+        # must still hash to the agreed identifier the sponsor signed.
+        harness = EngineHarness(["A"], seed=3)
+        found(harness, "obj", ["A"], {"v": 0})
+        harness.add_party("B")
+        interceptor = _Interceptor(harness, CONNECT_WELCOME)
+        output = harness.party("B").join_object("obj", "A")
+        interceptor.run_capturing("B", output, suppress=True)
+        sender, recipient, welcome = interceptor.captured[0]
+        tampered = copy.deepcopy(welcome)
+        tampered["agreed_state"] = {"v": 999}
+        harness.deliver(sender, recipient, tampered)
+        decided = harness.events_of("B", ConnectionDecided)
+        assert decided and not decided[0].accepted
+
+
+class TestTamperedMembershipCommit:
+    def test_flipped_membership_veto_detected(self):
+        from repro.protocol.validation import CallbackValidator, Decision
+        harness = make_harness(["A", "B", "C"], seed=10)
+        # A vetoes the admission
+        harness.party("A").session("obj").membership.validator = (
+            CallbackValidator(connect=lambda s, m: Decision.reject("no"))
+        )
+        harness.add_party("D")
+        interceptor = _Interceptor(harness, CONNECT_COMMIT)
+        output = harness.party("D").join_object("obj", "C")
+        interceptor.run_capturing("D", output, suppress=True)
+        assert interceptor.captured
+        # The sponsor (C) flips A's veto inside the commit it sends to B.
+        for sender, recipient, commit in interceptor.captured:
+            tampered = copy.deepcopy(commit)
+            for response in tampered.get("responses", []):
+                decision = response["payload"]["decision"]
+                decision["verdict"] = "accept"
+                decision["diagnostics"] = []
+            harness.deliver(sender, recipient, tampered)
+        # B detects the invalid signatures and keeps the old membership.
+        assert harness.party("B").session("obj").group.members == ["A", "B", "C"]
+        events = harness.events_of("B", MisbehaviourEvent)
+        assert any(e.kind == "invalid-signature" for e in events)
+
+    def test_forged_membership_auth_detected(self):
+        harness = make_harness(["A", "B", "C"], seed=11)
+        harness.add_party("D")
+        interceptor = _Interceptor(harness, CONNECT_COMMIT)
+        output = harness.party("D").join_object("obj", "C")
+        interceptor.run_capturing("D", output, suppress=True)
+        for sender, recipient, commit in interceptor.captured:
+            tampered = copy.deepcopy(commit)
+            tampered["auth"] = b"\x00" * len(bytes(tampered["auth"]))
+            harness.deliver(sender, recipient, tampered)
+        assert harness.party("A").session("obj").group.members == ["A", "B", "C"]
+        events = (harness.events_of("A", MisbehaviourEvent)
+                  + harness.events_of("B", MisbehaviourEvent))
+        assert any(e.kind == "forged-commit" for e in events)
+
+
+class TestIllegitimateSponsor:
+    def test_member_rejects_proposal_from_wrong_sponsor(self):
+        harness = make_harness(["A", "B", "C"], seed=20)
+        harness.add_party("D")
+        # D asks A (not the legitimate sponsor C); A correctly refuses to
+        # sponsor.  Now simulate A misbehaving by sponsoring anyway: craft
+        # the proposal through A's own engine internals.
+        party_a = harness.party("A")
+        membership_a = party_a.session("obj").membership
+        request_output = harness.party("D").join_object("obj", "A")
+        # Extract the signed request from D's outbound message.
+        request_message = request_output.messages[0][1]
+        request = SignedPart.from_dict(request_message["part"])
+        rogue_output = membership_a._sponsor_connect("D", request)
+        harness.pump("A", rogue_output)
+        # B and C reject the proposal: A is not the legitimate sponsor.
+        for honest in ("B", "C"):
+            assert harness.party(honest).session("obj").group.members == \
+                ["A", "B", "C"]
+        # The commit A assembles shows the vetoes; D gets a rejection.
+        decided = harness.events_of("D", ConnectionDecided)
+        assert decided and not decided[0].accepted
+
+    def test_eviction_request_from_impersonator_detected(self):
+        harness = make_harness(["A", "B", "C"], seed=21)
+        # B forges an eviction request that claims to come from A.
+        party_b = harness.party("B")
+        membership_b = party_b.session("obj").membership
+        forged_payload = {
+            "type": "evict-request",
+            "proposer": "A",  # lie
+            "subjects": ["C"],
+            "object": "obj",
+            "nonce": b"\x01" * 32,
+        }
+        from repro.protocol.messages import EVICT_REQUEST, make_signed, membership_message
+        forged = make_signed(forged_payload, party_b.ctx.signer, harness.tsa)
+        sponsor = harness.party("A").session("obj").group.eviction_sponsor(["C"])
+        harness.deliver("B", sponsor, membership_message(EVICT_REQUEST, forged))
+        events = harness.events_of(sponsor, MisbehaviourEvent)
+        assert any(e.kind in ("impersonation", "invalid-signature")
+                   for e in events)
+        assert harness.party("C").session("obj").group.members == ["A", "B", "C"]

@@ -1,0 +1,373 @@
+"""Connection / disconnection / eviction protocols (section 4.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.protocol.events import (
+    ConnectionDecided,
+    DisconnectionDecided,
+    MembershipChanged,
+    MisbehaviourEvent,
+    RunBlocked,
+    RunCompleted,
+)
+from repro.protocol.validation import CallbackValidator, Decision
+
+from tests.engine_helpers import EngineHarness, found
+
+
+def make_harness(members, seed=0, initial=None, **kwargs):
+    harness = EngineHarness(list(members), seed=seed)
+    found(harness, "obj", list(members), initial if initial is not None else {"v": 0},
+          **kwargs)
+    return harness
+
+
+def group_of(harness, name):
+    return harness.party(name).session("obj").group
+
+
+def state_of(harness, name):
+    return harness.party(name).session("obj").state
+
+
+def membership_of(harness, name):
+    return harness.party(name).session("obj").membership
+
+
+class TestConnection:
+    def test_join_via_sponsor(self):
+        harness = make_harness(["A", "B"])
+        harness.add_party("C")
+        output = harness.party("C").join_object("obj", "B")
+        harness.pump("C", output)
+        assert harness.party("C").is_connected("obj")
+        for name in ["A", "B", "C"]:
+            assert group_of(harness, name).members == ["A", "B", "C"]
+        decided = harness.events_of("C", ConnectionDecided)[0]
+        assert decided.accepted and decided.state == {"v": 0}
+
+    def test_joiner_receives_current_agreed_state(self):
+        harness = make_harness(["A", "B"])
+        _, output = state_of(harness, "A").propose_overwrite({"v": 42})
+        harness.pump("A", output)
+        harness.add_party("C")
+        output = harness.party("C").join_object("obj", "B")
+        harness.pump("C", output)
+        joined = state_of(harness, "C")
+        assert joined.agreed_state == {"v": 42}
+        assert joined.agreed_sid == state_of(harness, "A").agreed_sid
+
+    def test_group_identifier_advances_consistently(self):
+        harness = make_harness(["A", "B"])
+        harness.add_party("C")
+        harness.pump("C", harness.party("C").join_object("obj", "B"))
+        gids = {group_of(harness, n).group_id for n in ["A", "B", "C"]}
+        assert len(gids) == 1
+        assert next(iter(gids)).seq == 1
+
+    def test_new_member_becomes_next_sponsor(self):
+        harness = make_harness(["A", "B"])
+        harness.add_party("C")
+        harness.pump("C", harness.party("C").join_object("obj", "B"))
+        assert group_of(harness, "A").connect_sponsor() == "C"
+        harness.add_party("D")
+        harness.pump("D", harness.party("D").join_object("obj", "C"))
+        assert group_of(harness, "A").members == ["A", "B", "C", "D"]
+
+    def test_member_veto_rejects_connection(self):
+        harness = make_harness(["A", "B"])
+        membership_of(harness, "A").validator = CallbackValidator(
+            connect=lambda subject, members: Decision.reject("not welcome")
+        )
+        harness.add_party("C")
+        harness.pump("C", harness.party("C").join_object("obj", "B"))
+        decided = harness.events_of("C", ConnectionDecided)[0]
+        assert not decided.accepted
+        assert not harness.party("C").is_connected("obj")
+        for name in ["A", "B"]:
+            assert group_of(harness, name).members == ["A", "B"]
+
+    def test_sponsor_immediate_rejection_looks_identical(self):
+        # Subject cannot distinguish sponsor rejection from member veto
+        # (section 4.5.3): both arrive as the same signed reject message.
+        harness1 = make_harness(["A", "B"], seed=1)
+        membership_of(harness1, "B").validator = CallbackValidator(
+            connect=lambda s, m: Decision.reject("sponsor says no")
+        )
+        harness1.add_party("C")
+        harness1.pump("C", harness1.party("C").join_object("obj", "B"))
+        rejected_by_sponsor = harness1.events_of("C", ConnectionDecided)[0]
+
+        harness2 = make_harness(["A", "B"], seed=2)
+        membership_of(harness2, "A").validator = CallbackValidator(
+            connect=lambda s, m: Decision.reject("member says no")
+        )
+        harness2.add_party("C")
+        harness2.pump("C", harness2.party("C").join_object("obj", "B"))
+        vetoed_by_member = harness2.events_of("C", ConnectionDecided)[0]
+
+        assert rejected_by_sponsor.accepted == vetoed_by_member.accepted == False  # noqa: E712
+        assert rejected_by_sponsor.diagnostics == vetoed_by_member.diagnostics
+
+    def test_wrong_sponsor_rejects_request(self):
+        harness = make_harness(["A", "B"])
+        harness.add_party("C")
+        # A is not the legitimate sponsor (B joined last)
+        harness.pump("C", harness.party("C").join_object("obj", "A"))
+        decided = harness.events_of("C", ConnectionDecided)
+        assert decided and not decided[0].accepted
+
+    def test_existing_member_cannot_rejoin(self):
+        harness = make_harness(["A", "B"])
+        with pytest.raises(MembershipError):
+            harness.party("A").join_object("obj", "B")
+
+    def test_singleton_group_admits_directly(self):
+        harness = make_harness(["A"])
+        harness.add_party("B")
+        harness.pump("B", harness.party("B").join_object("obj", "A"))
+        assert group_of(harness, "A").members == ["A", "B"]
+        assert harness.party("B").is_connected("obj")
+
+    def test_busy_sponsor_rejects(self):
+        harness = make_harness(["A", "B", "C"])
+        # B (sponsor... most recent is C) -> use C and make it busy
+        harness.blocked_edges = {("C", "A"), ("C", "B")}
+        _, output = state_of(harness, "C").propose_overwrite({"v": 1})
+        harness.pump("C", output)
+        harness.blocked_edges = set()
+        harness.add_party("D")
+        harness.pump("D", harness.party("D").join_object("obj", "C"))
+        decided = harness.events_of("D", ConnectionDecided)
+        assert decided and not decided[0].accepted
+
+    def test_joined_member_can_propose(self):
+        harness = make_harness(["A", "B"])
+        harness.add_party("C")
+        harness.pump("C", harness.party("C").join_object("obj", "B"))
+        _, output = state_of(harness, "C").propose_overwrite({"v": 3})
+        harness.pump("C", output)
+        for name in ["A", "B", "C"]:
+            assert state_of(harness, name).agreed_state == {"v": 3}
+
+    def test_state_change_during_membership_run_rejected(self):
+        harness = make_harness(["A", "B", "C"])
+        # Members' responses are lost, so the commit never arrives and
+        # A stays mid-membership-run.
+        harness.blocked_edges = {("A", "C"), ("B", "C")}
+        harness.add_party("D")
+        harness.pump("D", harness.party("D").join_object("obj", "C"))
+        harness.blocked_edges = set()
+        assert state_of(harness, "A").membership_change_active
+        from repro.errors import ConcurrencyError
+        with pytest.raises(ConcurrencyError, match="membership change"):
+            state_of(harness, "A").propose_overwrite({"v": 1})
+
+
+class TestVoluntaryDisconnection:
+    def test_disconnect_removes_member(self):
+        harness = make_harness(["A", "B", "C"])
+        _, output = membership_of(harness, "A").request_disconnect()
+        harness.pump("A", output)
+        for name in ["B", "C"]:
+            assert group_of(harness, name).members == ["B", "C"]
+        assert harness.events_of("A", DisconnectionDecided)
+
+    def test_disconnect_cannot_be_vetoed(self):
+        harness = make_harness(["A", "B", "C"])
+        membership_of(harness, "B").validator = CallbackValidator(
+            disconnect=lambda subject, vol, proposer: Decision.reject("stay!")
+        )
+        _, output = membership_of(harness, "A").request_disconnect()
+        harness.pump("A", output)
+        assert group_of(harness, "B").members == ["B", "C"]
+        # the objection is recorded as evidence
+        log = harness.party("B").ctx.evidence
+        assert log.find("disconnect-objection") is not None
+
+    def test_most_recent_member_disconnecting_uses_previous_sponsor(self):
+        harness = make_harness(["A", "B", "C"])
+        _, output = membership_of(harness, "C").request_disconnect()
+        harness.pump("C", output)
+        assert group_of(harness, "A").members == ["A", "B"]
+
+    def test_two_party_disconnect(self):
+        harness = make_harness(["A", "B"])
+        _, output = membership_of(harness, "B").request_disconnect()
+        harness.pump("B", output)
+        assert group_of(harness, "A").members == ["A"]
+        # survivor can continue alone
+        _, output = state_of(harness, "A").propose_overwrite({"v": 1})
+        harness.pump("A", output)
+        assert state_of(harness, "A").agreed_state == {"v": 1}
+
+    def test_last_member_cannot_disconnect(self):
+        harness = make_harness(["A"])
+        with pytest.raises(MembershipError):
+            membership_of(harness, "A").request_disconnect()
+
+    def test_departed_member_has_final_evidence(self):
+        harness = make_harness(["A", "B", "C"])
+        _, output = membership_of(harness, "A").request_disconnect()
+        harness.pump("A", output)
+        decided = harness.events_of("A", DisconnectionDecided)[0]
+        assert decided.evidence is not None
+        log = harness.party("A").ctx.evidence
+        assert log.find("disconnect-notice-received") is not None
+
+
+class TestEviction:
+    def test_eviction_by_sponsor(self):
+        harness = make_harness(["A", "B", "C"])
+        # sponsor for evicting A is C (most recent non-subject)
+        _, output = membership_of(harness, "C").request_eviction(["A"])
+        harness.pump("C", output)
+        for name in ["B", "C"]:
+            assert group_of(harness, name).members == ["B", "C"]
+        # the evictee was never consulted: its view is unchanged
+        assert group_of(harness, "A").members == ["A", "B", "C"]
+
+    def test_eviction_requested_by_non_sponsor(self):
+        harness = make_harness(["A", "B", "C"])
+        _, output = membership_of(harness, "A").request_eviction(["B"])
+        harness.pump("A", output)
+        for name in ["A", "C"]:
+            assert group_of(harness, name).members == ["A", "C"]
+        changed = harness.events_of("A", MembershipChanged)
+        assert changed and changed[0].change == "evict"
+
+    def test_eviction_can_be_vetoed(self):
+        harness = make_harness(["A", "B", "C", "D"])
+        membership_of(harness, "A").validator = CallbackValidator(
+            disconnect=lambda subject, vol, proposer: Decision.reject("keep B")
+        )
+        _, output = membership_of(harness, "C").request_eviction(["B"])
+        harness.pump("C", output)
+        for name in ["A", "B", "C", "D"]:
+            assert group_of(harness, name).members == ["A", "B", "C", "D"]
+
+    def test_sponsor_may_reject_eviction_request(self):
+        harness = make_harness(["A", "B", "C"])
+        membership_of(harness, "C").validator = CallbackValidator(
+            disconnect=lambda subject, vol, proposer: Decision.reject("no way")
+        )
+        _, output = membership_of(harness, "A").request_eviction(["B"])
+        harness.pump("A", output)
+        assert group_of(harness, "B").members == ["A", "B", "C"]
+        completed = [e for e in harness.events_of("A", RunCompleted)
+                     if e.kind == "evict"]
+        assert completed and not completed[0].valid
+
+    def test_subset_eviction(self):
+        harness = make_harness(["A", "B", "C", "D"])
+        _, output = membership_of(harness, "A").request_eviction(["B", "C"])
+        harness.pump("A", output)
+        for name in ["A", "D"]:
+            assert group_of(harness, name).members == ["A", "D"]
+
+    def test_cannot_evict_self(self):
+        harness = make_harness(["A", "B"])
+        with pytest.raises(MembershipError):
+            membership_of(harness, "A").request_eviction(["A"])
+
+    def test_cannot_evict_non_member(self):
+        harness = make_harness(["A", "B"])
+        with pytest.raises(MembershipError):
+            membership_of(harness, "A").request_eviction(["Z"])
+
+    def test_post_eviction_state_changes_work(self):
+        harness = make_harness(["A", "B", "C"])
+        _, output = membership_of(harness, "C").request_eviction(["A"])
+        harness.pump("C", output)
+        _, output = state_of(harness, "B").propose_overwrite({"v": 5})
+        harness.pump("B", output)
+        assert state_of(harness, "C").agreed_state == {"v": 5}
+
+    def test_evictee_cannot_impose_state_on_survivors(self):
+        harness = make_harness(["A", "B", "C"])
+        _, output = membership_of(harness, "C").request_eviction(["A"])
+        harness.pump("C", output)
+        # A still believes it is a member and proposes
+        _, output = state_of(harness, "A").propose_overwrite({"v": 666})
+        harness.pump("A", output)
+        for name in ["B", "C"]:
+            assert state_of(harness, name).agreed_state == {"v": 0}
+        completed = [e for e in harness.events_of("A", RunCompleted)
+                     if e.kind == "state"]
+        assert completed and not completed[-1].valid
+
+
+class TestMembershipProgress:
+    def test_blocked_membership_run_reported(self):
+        harness = make_harness(["A", "B", "C"])
+        harness.blocked_edges = {("B", "C")}  # C never receives proposal
+        harness.add_party("D")
+        harness.pump("D", harness.party("D").join_object("obj", "C"))
+        # sponsor C sent proposal to A and B... wait: C is sponsor; edge (B, C)
+        # blocks B's response so C stays waiting.
+        harness.clock.advance(50.0)
+        output = harness.party("C").check_progress(timeout=10.0)
+        blocked = [e for e in output.events if isinstance(e, RunBlocked)]
+        assert blocked and blocked[0].kind == "connect"
+        assert blocked[0].waiting_on == ["B"]
+
+    def test_membership_resend_recovers(self):
+        harness = make_harness(["A", "B", "C"])
+        harness.blocked_edges = {("C", "B")}  # B misses the proposal
+        harness.add_party("D")
+        harness.pump("D", harness.party("D").join_object("obj", "C"))
+        assert not harness.party("D").is_connected("obj")
+        harness.blocked_edges = set()
+        resend = harness.party("C").resend_outstanding()
+        harness.pump("C", resend)
+        assert harness.party("D").is_connected("obj")
+        for name in ["A", "B", "C", "D"]:
+            assert group_of(harness, name).members == ["A", "B", "C", "D"]
+
+
+class TestSponsorDiscovery:
+    """Section 4.5.3: any member can identify the legitimate sponsor."""
+
+    def test_join_via_any_member(self):
+        harness = make_harness(["A", "B", "C"])
+        harness.add_party("D")
+        # D only knows A (the oldest member, not the sponsor).
+        output = harness.party("D").join_object("obj", via="A")
+        harness.pump("D", output)
+        assert harness.party("D").is_connected("obj")
+        for name in ["A", "B", "C", "D"]:
+            assert group_of(harness, name).members == ["A", "B", "C", "D"]
+
+    def test_join_requires_exactly_one_of_sponsor_or_via(self):
+        harness = make_harness(["A", "B"])
+        harness.add_party("C")
+        with pytest.raises(MembershipError, match="exactly one"):
+            harness.party("C").join_object("obj")
+        with pytest.raises(MembershipError, match="exactly one"):
+            harness.party("C").join_object("obj", "B", via="A")
+
+    def test_unsolicited_sponsor_info_ignored(self):
+        harness = make_harness(["A", "B"])
+        harness.add_party("C")
+        harness.party("C").join_object("obj", via="B")  # pending, unpumped
+        output = harness.party("C").handle(
+            "A", {"msg_type": "sponsor_info", "object": "obj",
+                  "sponsor": "A", "members": ["A"]}
+        )
+        # advice from a party we never asked is ignored
+        assert output.messages == []
+
+    def test_node_level_connect_via(self, ):
+        from repro.core import Community, DictB2BObject, SimRuntime
+        community = Community(["A", "B", "C"], runtime=SimRuntime(seed=77))
+        objects = {n: DictB2BObject({"v": 1}) for n in community.names()}
+        community.found_object("shared", objects)
+        community.add_organisation("D")
+        replica = DictB2BObject({"v": 1})
+        controller = community.node("D").connect("shared", replica, via="A")
+        community.settle(2.0)
+        assert controller.members() == ["A", "B", "C", "D"]
+        assert replica.get_attribute("v") == 1

@@ -1,0 +1,141 @@
+"""ProtocolParty message routing and multi-object sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MembershipError, NotConnectedError
+from repro.protocol.events import ConnectionDecided
+from repro.protocol.party import extract_object_name
+
+from tests.engine_helpers import EngineHarness, found
+
+
+def make_harness(members=("A", "B"), seed=0):
+    harness = EngineHarness(list(members), seed=seed)
+    found(harness, "obj", list(members), {"v": 0})
+    return harness
+
+
+class TestExtractObjectName:
+    def test_top_level_object(self):
+        assert extract_object_name({"object": "x"}) == "x"
+
+    def test_from_signed_part(self):
+        message = {"part": {"payload": {"object": "y"}}}
+        assert extract_object_name(message) == "y"
+
+    def test_from_proposal(self):
+        message = {"proposal": {"payload": {"object": "z"}}}
+        assert extract_object_name(message) == "z"
+
+    def test_missing(self):
+        assert extract_object_name({"msg_type": "propose"}) is None
+        assert extract_object_name({"proposal": "junk"}) is None
+
+
+class TestRouting:
+    def test_message_for_unknown_object_ignored(self):
+        harness = make_harness()
+        output = harness.party("B").handle(
+            "A", {"msg_type": "propose", "object": "ghost", "proposal": {}}
+        )
+        assert output.messages == [] and output.events == []
+
+    def test_message_without_msg_type_ignored(self):
+        harness = make_harness()
+        output = harness.party("B").handle("A", {"object": "obj"})
+        assert output.messages == [] and output.events == []
+
+    def test_detached_session_ignores_state_messages(self):
+        harness = make_harness(("A", "B", "C"))
+        # B leaves voluntarily...
+        _, output = harness.party("B").session("obj").membership.request_disconnect()
+        harness.pump("B", output)
+        assert harness.party("B").sessions["obj"].detached
+        # ...then a straggler proposal arrives at B: dropped silently.
+        run_id, output = harness.party("A").session("obj").state.propose_overwrite(
+            {"v": 1}
+        )
+        message = output.messages[0][1]
+        response = harness.party("B").handle("A", message)
+        assert response.messages == []
+
+    def test_session_accessor_raises_for_detached(self):
+        harness = make_harness(("A", "B", "C"))
+        _, output = harness.party("B").session("obj").membership.request_disconnect()
+        harness.pump("B", output)
+        with pytest.raises(NotConnectedError):
+            harness.party("B").session("obj")
+        assert not harness.party("B").is_connected("obj")
+
+
+class TestMultiObjectSessions:
+    def test_independent_groups_per_object(self):
+        harness = EngineHarness(["A", "B", "C"], seed=5)
+        found(harness, "alpha", ["A", "B"], {"x": 0})
+        found(harness, "beta", ["B", "C"], {"y": 0})
+        # A change to alpha does not touch beta and vice versa.
+        _, output = harness.party("A").session("alpha").state.propose_overwrite(
+            {"x": 1}
+        )
+        harness.pump("A", output)
+        _, output = harness.party("C").session("beta").state.propose_overwrite(
+            {"y": 2}
+        )
+        harness.pump("C", output)
+        assert harness.party("B").session("alpha").state.agreed_state == {"x": 1}
+        assert harness.party("B").session("beta").state.agreed_state == {"y": 2}
+        with pytest.raises(NotConnectedError):
+            harness.party("A").session("beta")
+
+    def test_same_object_name_requires_membership(self):
+        harness = EngineHarness(["A", "B"], seed=6)
+        with pytest.raises(MembershipError, match="local party"):
+            harness.party("A").create_object("obj", ["B"], {})
+
+    def test_duplicate_create_rejected(self):
+        harness = make_harness()
+        with pytest.raises(MembershipError, match="already exists"):
+            harness.party("A").create_object("obj", ["A", "B"], {})
+
+
+class TestJoinLifecycle:
+    def test_duplicate_join_request_rejected_locally(self):
+        harness = make_harness(("A", "B"))
+        harness.add_party("C")
+        harness.party("C").join_object("obj", "B")  # pending (not pumped)
+        with pytest.raises(MembershipError, match="pending"):
+            harness.party("C").join_object("obj", "B")
+
+    def test_rejected_join_allows_retry(self):
+        from repro.protocol.validation import CallbackValidator, Decision
+        harness = make_harness(("A", "B"), seed=7)
+        harness.party("B").session("obj").membership.validator = (
+            CallbackValidator(connect=lambda s, m: Decision.reject("later"))
+        )
+        harness.add_party("C")
+        harness.pump("C", harness.party("C").join_object("obj", "B"))
+        decided = harness.events_of("C", ConnectionDecided)
+        assert decided and not decided[0].accepted
+        # a fresh attempt is allowed after the rejection
+        harness.party("B").session("obj").membership.validator = (
+            CallbackValidator()
+        )
+        harness.pump("C", harness.party("C").join_object("obj", "B"))
+        assert harness.party("C").is_connected("obj")
+
+    def test_pending_join_accessor(self):
+        harness = make_harness(("A", "B"))
+        harness.add_party("C")
+        assert harness.party("C").pending_join("obj") is None
+        harness.party("C").join_object("obj", "B")
+        assert harness.party("C").pending_join("obj") is not None
+
+    def test_welcome_for_unknown_join_ignored(self):
+        harness = make_harness(("A", "B"))
+        output = harness.party("B").handle(
+            "A", {"msg_type": "connect_welcome",
+                  "part": {"payload": {"object": "ghost"}}}
+        )
+        assert output.messages == [] and output.events == []

@@ -1,0 +1,298 @@
+"""System-level property-based tests on protocol invariants.
+
+These are the heavyweight hypothesis suites: random workloads, random
+party counts, random fault profiles — after every run, all correct
+replicas must agree on the same state, the evidence chains must verify,
+and vetoed states must never appear anywhere.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Community, DictB2BObject, SimRuntime
+from repro.errors import ValidationFailed
+from repro.protocol.validation import CallbackValidator, Decision
+from repro.transport.inmemory import LinkProfile
+
+from tests.engine_helpers import EngineHarness, found
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def build(n_parties, seed, profile=None):
+    names = [f"Org{i + 1}" for i in range(n_parties)]
+    community = Community(
+        names, runtime=SimRuntime(seed=seed, profile=profile), key_bits=512,
+    )
+    objects = {name: DictB2BObject() for name in names}
+    controllers = community.found_object("shared", objects)
+    return community, controllers, objects
+
+
+class TestConvergence:
+    @SLOW
+    @given(n=st.integers(min_value=2, max_value=5),
+           seed=st.integers(min_value=0, max_value=10_000),
+           writes=st.lists(
+               st.tuples(st.integers(min_value=0, max_value=4),
+                         st.integers(min_value=0, max_value=9)),
+               min_size=1, max_size=6))
+    def test_random_writers_converge(self, n, seed, writes):
+        community, controllers, objects = build(n, seed)
+        names = community.names()
+        for index, (writer, value) in enumerate(writes):
+            org = names[writer % n]
+            controller = controllers[org]
+            controller.enter()
+            controller.overwrite()
+            objects[org].set_attribute(f"k{index}", value)
+            controller.leave()
+        community.settle(5.0)
+        states = {tuple(sorted(objects[name].attributes().items()))
+                  for name in names}
+        assert len(states) == 1
+        sids = {community.node(name).party.session("shared").state.agreed_sid
+                for name in names}
+        assert len(sids) == 1
+        for name in names:
+            assert community.node(name).ctx.evidence.verify_chain() > 0
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           drop=st.floats(min_value=0.0, max_value=0.35),
+           duplicate=st.floats(min_value=0.0, max_value=0.35))
+    def test_convergence_over_arbitrary_lossy_networks(self, seed, drop,
+                                                       duplicate):
+        profile = LinkProfile(latency=0.005, jitter=0.01,
+                              drop_probability=drop,
+                              duplicate_probability=duplicate)
+        community, controllers, objects = build(3, seed, profile)
+        for i in range(3):
+            controller = controllers["Org1"]
+            controller.enter()
+            controller.overwrite()
+            objects["Org1"].set_attribute(f"k{i}", i)
+            controller.leave()
+        community.settle(60.0)
+        expected = {"k0": 0, "k1": 1, "k2": 2}
+        for name in community.names():
+            assert objects[name].attributes() == expected
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           reject_key=st.integers(min_value=0, max_value=4),
+           writes=st.lists(st.integers(min_value=0, max_value=4),
+                           min_size=1, max_size=5))
+    def test_vetoed_values_never_appear_anywhere(self, seed, reject_key,
+                                                 writes):
+        community, controllers, objects = build(3, seed)
+        forbidden = f"k{reject_key}"
+
+        def refuse(proposed, current, proposer):
+            if forbidden in proposed:
+                return Decision.reject("forbidden key")
+            return Decision.accept()
+
+        community.node("Org2").party.session("shared").state.validator = (
+            CallbackValidator(state=refuse)
+        )
+        for index, key in enumerate(writes):
+            controller = controllers["Org1"]
+            controller.enter()
+            controller.overwrite()
+            objects["Org1"].set_attribute(f"k{key}", index)
+            try:
+                controller.leave()
+            except ValidationFailed:
+                # roll the local replica forward from the agreed state
+                pass
+        community.settle(5.0)
+        for name in community.names():
+            assert forbidden not in objects[name].attributes()
+        states = {tuple(sorted(objects[name].attributes().items()))
+                  for name in community.names()}
+        assert len(states) == 1
+
+
+class TestMembershipProperties:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           joins=st.integers(min_value=1, max_value=3),
+           leaves=st.integers(min_value=0, max_value=2))
+    def test_join_leave_sequences_keep_groups_consistent(self, seed, joins,
+                                                         leaves):
+        harness = EngineHarness(["A", "B"], seed=seed)
+        found(harness, "obj", ["A", "B"], {"v": 0})
+        current = ["A", "B"]
+        for index in range(joins):
+            name = f"J{index}"
+            harness.add_party(name)
+            sponsor = harness.party(current[0]).session("obj").group.connect_sponsor()
+            harness.pump(name, harness.party(name).join_object("obj", sponsor))
+            current.append(name)
+        for index in range(min(leaves, len(current) - 1)):
+            leaver = current.pop()
+            _, output = harness.party(leaver).session("obj").membership.request_disconnect()
+            harness.pump(leaver, output)
+        views = {tuple(harness.party(name).session("obj").group.members)
+                 for name in current}
+        assert views == {tuple(current)}
+        gids = {harness.party(name).session("obj").group.group_id
+                for name in current}
+        assert len(gids) == 1
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           value=st.integers(min_value=0, max_value=99))
+    def test_state_survives_membership_churn(self, seed, value):
+        harness = EngineHarness(["A", "B"], seed=seed)
+        found(harness, "obj", ["A", "B"], {"v": 0})
+        _, output = harness.party("A").session("obj").state.propose_overwrite(
+            {"v": value}
+        )
+        harness.pump("A", output)
+        harness.add_party("C")
+        harness.pump("C", harness.party("C").join_object("obj", "B"))
+        assert harness.party("C").session("obj").state.agreed_state == {"v": value}
+        _, output = harness.party("B").session("obj").membership.request_disconnect()
+        harness.pump("B", output)
+        _, output = harness.party("C").session("obj").state.propose_overwrite(
+            {"v": value + 1}
+        )
+        harness.pump("C", output)
+        assert harness.party("A").session("obj").state.agreed_state == {"v": value + 1}
+
+
+class TestByzantineMixProperties:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           attack=st.sampled_from(["suppress-commit", "forge-auth",
+                                   "divergent", "tamper-bundle"]),
+           byzantine=st.integers(min_value=0, max_value=2))
+    def test_honest_replicas_never_diverge_under_attack(self, seed, attack,
+                                                        byzantine):
+        """Property: whatever single byzantine behaviour is installed on
+        whichever party, honest replicas either all install the proposed
+        state or all stay on the previous agreed state."""
+        from repro.faults import (
+            DivergentBody,
+            ForgedCommitAuth,
+            SuppressCommits,
+            TamperedCommitResponses,
+        )
+
+        community, controllers, objects = build(3, seed)
+        names = community.names()
+        bad = names[byzantine]
+        node = community.node(bad)
+        if attack == "suppress-commit":
+            SuppressCommits(node)
+        elif attack == "forge-auth":
+            ForgedCommitAuth(node)
+        elif attack == "divergent":
+            victim = names[(byzantine + 1) % 3]
+            DivergentBody(node, victim=victim)
+        else:
+            TamperedCommitResponses(node)
+
+        controller = controllers[bad]
+        controller.enter()
+        controller.overwrite()
+        objects[bad].set_attribute("x", 1)
+        try:
+            controller.leave()
+        except ValidationFailed:
+            pass
+        except Exception:
+            pass  # blocked runs surface as ProtocolBlocked in sync mode
+        community.settle(5.0)
+        honest = [n for n in names if n != bad]
+        honest_states = {
+            tuple(sorted(
+                community.node(n).party.session("shared").state.agreed_state.items()
+            ))
+            for n in honest
+        }
+        assert len(honest_states) == 1
+        # and every honest evidence chain stays verifiable
+        for n in honest:
+            community.node(n).ctx.evidence.verify_chain()
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_intruder_cannot_corrupt_only_disrupt(self, seed):
+        """Property: a Dolev-Yao intruder rewriting every proposal body can
+        delay or invalidate runs but never cause divergent installs."""
+        from repro.faults import DolevYaoIntruder, tamper_body
+
+        community, controllers, objects = build(2, seed)
+        intruder = DolevYaoIntruder(community.runtime.network)
+        intruder.rewrite_payloads(tamper_body)
+        controller = controllers["Org1"]
+        for i in range(2):
+            controller.enter()
+            controller.overwrite()
+            objects["Org1"].set_attribute(f"k{i}", i)
+            try:
+                controller.leave()
+            except ValidationFailed:
+                pass
+        community.settle(5.0)
+        states = {
+            tuple(sorted(
+                community.node(n).party.session("shared").state.agreed_state.items()
+            ))
+            for n in community.names()
+        }
+        assert len(states) == 1
+
+
+class TestOrderIndependence:
+    """Section 4.2: the protocol requires no message ordering from the
+    communications system — any delivery order converges identically."""
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=100_000),
+           n=st.integers(min_value=2, max_value=5))
+    def test_state_runs_converge_under_any_delivery_order(self, seed, n):
+        names = [f"P{i + 1}" for i in range(n)]
+        harness = EngineHarness(names, seed=seed)
+        found(harness, "obj", names, {"v": 0})
+        engine = harness.party("P1").session("obj").state
+        _, output = engine.propose_overwrite({"v": 1})
+        harness.pump_shuffled("P1", output, seed=seed)
+        for name in names:
+            state = harness.party(name).session("obj").state
+            assert state.agreed_state == {"v": 1}, name
+            assert not state.busy
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_membership_runs_converge_under_any_delivery_order(self, seed):
+        harness = EngineHarness(["A", "B", "C"], seed=seed)
+        found(harness, "obj", ["A", "B", "C"], {"v": 0})
+        harness.add_party("D")
+        output = harness.party("D").join_object("obj", "C")
+        harness.pump_shuffled("D", output, seed=seed)
+        assert harness.party("D").is_connected("obj")
+        for name in ["A", "B", "C", "D"]:
+            group = harness.party(name).session("obj").group
+            assert group.members == ["A", "B", "C", "D"], name
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_sequential_runs_with_shuffled_delivery(self, seed):
+        names = ["P1", "P2", "P3"]
+        harness = EngineHarness(names, seed=seed)
+        found(harness, "obj", names, {"v": 0})
+        for i, proposer in enumerate(["P1", "P2", "P1"]):
+            engine = harness.party(proposer).session("obj").state
+            _, output = engine.propose_overwrite({"v": i + 1})
+            harness.pump_shuffled(proposer, output, seed=f"{seed}:{i}")
+        states = {tuple(sorted(
+            harness.party(name).session("obj").state.agreed_state.items()
+        )) for name in names}
+        assert states == {(("v", 3),)}

@@ -1,0 +1,136 @@
+"""State/group identifier tuples and validation primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.prng import DeterministicRandomSource
+from repro.protocol.ids import (
+    GroupId,
+    StateId,
+    initial_group_id,
+    initial_state_id,
+    new_group_id,
+    new_state_id,
+)
+from repro.protocol.validation import (
+    ACCEPT,
+    REJECT,
+    CallbackValidator,
+    Decision,
+    StateMerger,
+    Validator,
+)
+
+
+class TestStateId:
+    def test_genesis_is_deterministic(self):
+        assert initial_state_id({"x": 1}) == initial_state_id({"x": 1})
+        assert initial_state_id({"x": 1}) != initial_state_id({"x": 2})
+        assert initial_state_id({"x": 1}).seq == 0
+
+    def test_matches_state(self):
+        sid = initial_state_id({"x": 1})
+        assert sid.matches_state({"x": 1})
+        assert not sid.matches_state({"x": 2})
+
+    def test_new_state_id_advances_sequence(self):
+        rng = DeterministicRandomSource(1)
+        sid, nonce = new_state_id(4, {"s": 1}, rng)
+        assert sid.seq == 5
+        assert len(nonce) == 32
+        from repro.crypto.hashing import hash_value
+        assert sid.rand_hash == hash_value(nonce)
+
+    def test_concurrent_proposals_are_disambiguated(self):
+        rng = DeterministicRandomSource(1)
+        a, _ = new_state_id(0, {"s": 1}, rng)
+        b, _ = new_state_id(0, {"s": 1}, rng)
+        assert a.seq == b.seq and a.state_hash == b.state_hash
+        assert a.rand_hash != b.rand_hash  # the disambiguator
+
+    def test_round_trip(self):
+        sid = initial_state_id([1, 2, 3])
+        assert StateId.from_dict(sid.to_dict()) == sid
+
+    def test_short_rendering(self):
+        assert initial_state_id({}).short().startswith("T(seq=0")
+
+
+class TestGroupId:
+    def test_genesis(self):
+        gid = initial_group_id(["A", "B"])
+        assert gid.seq == 0
+        assert gid.matches_members(["A", "B"])
+        assert not gid.matches_members(["B", "A"])
+
+    def test_new_group_id(self):
+        rng = DeterministicRandomSource(2)
+        gid, _nonce = new_group_id(3, ["A", "B", "C"], rng)
+        assert gid.seq == 4
+        assert gid.matches_members(["A", "B", "C"])
+
+    def test_round_trip(self):
+        gid = initial_group_id(["A"])
+        assert GroupId.from_dict(gid.to_dict()) == gid
+
+
+class TestDecision:
+    def test_accept(self):
+        decision = Decision.accept()
+        assert decision.accepted and decision.verdict == ACCEPT
+
+    def test_reject_with_diagnostics(self):
+        decision = Decision.reject("too big", "too late")
+        assert not decision.accepted
+        assert decision.diagnostics == ("too big", "too late")
+
+    def test_round_trip(self):
+        decision = Decision.reject("nope")
+        assert Decision.from_dict(decision.to_dict()) == decision
+
+    def test_invalid_verdict(self):
+        with pytest.raises(ValueError):
+            Decision("maybe")
+
+    @given(st.sampled_from([ACCEPT, REJECT]),
+           st.lists(st.text(max_size=10), max_size=3))
+    def test_round_trip_property(self, verdict, diags):
+        decision = Decision(verdict, tuple(diags))
+        assert Decision.from_dict(decision.to_dict()) == decision
+
+
+class TestValidators:
+    def test_default_validator_accepts(self):
+        validator = Validator()
+        assert validator.validate_state({}, {}, "P").accepted
+        assert validator.validate_update({}, {}, {}, "P").accepted
+        assert validator.validate_connect("X", []).accepted
+        assert validator.validate_disconnect("X", True, "X").accepted
+
+    def test_callback_validator_routes(self):
+        validator = CallbackValidator(
+            state=lambda p, c, proposer: Decision.reject(f"no {proposer}"),
+            connect=lambda subject, members: Decision.reject("closed"),
+        )
+        assert validator.validate_state({}, {}, "A").diagnostics == ("no A",)
+        assert not validator.validate_connect("X", []).accepted
+        # update falls back to the state callback by default
+        assert not validator.validate_update({}, {}, {}, "A").accepted
+
+    def test_state_merger_default(self):
+        merger = StateMerger()
+        assert merger.apply({"a": 1}, {"b": 2}) == {"a": 1, "b": 2}
+        assert merger.apply({"a": 1}, {"a": 3}) == {"a": 3}
+
+    def test_state_merger_is_pure(self):
+        merger = StateMerger()
+        state = {"a": 1}
+        merger.apply(state, {"b": 2})
+        assert state == {"a": 1}
+
+    def test_state_merger_type_checks(self):
+        with pytest.raises(TypeError):
+            StateMerger().apply([1], {"a": 1})

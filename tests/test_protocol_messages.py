@@ -1,0 +1,154 @@
+"""Signed message parts, builders, and decision aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.prng import DeterministicRandomSource
+from repro.crypto.hashing import hash_value
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signature import KeyPair
+from repro.crypto.timestamp import TimestampService
+from repro.errors import InconsistentMessageError, SignatureError, TimestampError
+from repro.protocol.ids import initial_group_id, initial_state_id, new_state_id
+from repro.protocol.messages import (
+    MODE_OVERWRITE,
+    MODE_UPDATE,
+    SignedPart,
+    build_proposal,
+    build_response,
+    make_signed,
+    responses_unanimous,
+    verify_auth_preimage,
+    verify_signed,
+)
+from repro.protocol.validation import Decision
+
+RNG = DeterministicRandomSource("messages-tests")
+ALICE = KeyPair("Alice", generate_keypair(512, RNG))
+BOB = KeyPair("Bob", generate_keypair(512, RNG))
+TSA = TimestampService(keypair=KeyPair("TSA", generate_keypair(512, RNG)))
+
+VERIFIERS = {"Alice": ALICE.verifier(), "Bob": BOB.verifier()}
+
+
+def resolver(party_id):
+    return VERIFIERS[party_id]
+
+
+class TestSignedPart:
+    def test_make_and_verify(self):
+        part = make_signed({"k": 1, "proposer": "Alice"}, ALICE.signer(), TSA)
+        verify_signed(part, resolver, tsa_verifier=TSA.verifier,
+                      expected_signer="Alice")
+
+    def test_round_trip(self):
+        part = make_signed({"k": 1}, ALICE.signer(), TSA)
+        assert SignedPart.from_dict(part.to_dict()) == part
+
+    def test_no_tsa_allowed(self):
+        part = make_signed({"k": 1}, ALICE.signer(), None)
+        assert part.timestamp is None
+        verify_signed(part, resolver)
+
+    def test_wrong_expected_signer(self):
+        part = make_signed({"k": 1}, ALICE.signer(), TSA)
+        with pytest.raises(InconsistentMessageError):
+            verify_signed(part, resolver, tsa_verifier=TSA.verifier,
+                          expected_signer="Bob")
+
+    def test_tampered_payload(self):
+        part = make_signed({"k": 1}, ALICE.signer(), TSA)
+        tampered = SignedPart({"k": 2}, part.signature, part.timestamp)
+        with pytest.raises(SignatureError):
+            verify_signed(tampered, resolver, tsa_verifier=TSA.verifier)
+
+    def test_missing_tsa_verifier(self):
+        part = make_signed({"k": 1}, ALICE.signer(), TSA)
+        with pytest.raises(TimestampError):
+            verify_signed(part, resolver, tsa_verifier=None)
+
+    def test_swapped_timestamp_detected(self):
+        part1 = make_signed({"k": 1}, ALICE.signer(), TSA)
+        part2 = make_signed({"k": 2}, ALICE.signer(), TSA)
+        crossed = SignedPart(part1.payload, part1.signature, part2.timestamp)
+        with pytest.raises(TimestampError):
+            verify_signed(crossed, resolver, tsa_verifier=TSA.verifier)
+
+    def test_digest_is_payload_hash(self):
+        part = make_signed({"k": 1}, ALICE.signer(), None)
+        assert part.digest() == hash_value({"k": 1})
+
+
+class TestBuilders:
+    def _proposal(self, mode=MODE_OVERWRITE, update_hash=None):
+        gid = initial_group_id(["Alice", "Bob"])
+        agreed = initial_state_id({"v": 0})
+        new, _ = new_state_id(0, {"v": 1}, RNG)
+        return build_proposal("Alice", "obj", gid, agreed, new,
+                              auth_commitment=b"c" * 32, mode=mode,
+                              update_hash=update_hash)
+
+    def test_proposal_fields(self):
+        payload = self._proposal()
+        assert payload["type"] == "state-proposal"
+        assert payload["mode"] == MODE_OVERWRITE
+        assert "update_hash" not in payload
+
+    def test_update_proposal_requires_update_hash(self):
+        with pytest.raises(ValueError):
+            self._proposal(mode=MODE_UPDATE)
+        payload = self._proposal(mode=MODE_UPDATE, update_hash=b"u" * 32)
+        assert payload["update_hash"] == b"u" * 32
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            self._proposal(mode="replace")
+
+    def test_response_builder(self):
+        gid = initial_group_id(["Alice", "Bob"])
+        sid = initial_state_id({"v": 0})
+        new, _ = new_state_id(0, {"v": 1}, RNG)
+        payload = build_response("Bob", "obj", b"digest", new, b"bh",
+                                 Decision.accept(), gid, sid, sid)
+        assert payload["responder"] == "Bob"
+        assert payload["decision"]["verdict"] == "accept"
+
+
+class TestAggregation:
+    def _response_part(self, signer_kp, decision):
+        payload = {
+            "type": "state-response",
+            "responder": signer_kp.party_id,
+            "decision": decision.to_dict(),
+        }
+        return make_signed(payload, signer_kp.signer(), None)
+
+    def test_unanimous(self):
+        parts = [self._response_part(BOB, Decision.accept())]
+        unanimous, diags = responses_unanimous(parts)
+        assert unanimous and diags == []
+
+    def test_single_veto_blocks(self):
+        parts = [
+            self._response_part(BOB, Decision.accept()),
+            self._response_part(ALICE, Decision.reject("policy")),
+        ]
+        unanimous, diags = responses_unanimous(parts)
+        assert not unanimous
+        assert any("policy" in d for d in diags)
+
+    def test_malformed_decision_blocks(self):
+        part = make_signed({"responder": "Bob", "decision": "yes"},
+                           BOB.signer(), None)
+        unanimous, diags = responses_unanimous([part])
+        assert not unanimous and "malformed" in diags[0]
+
+    def test_empty_is_unanimous(self):
+        # A singleton group has no recipients: trivially agreed.
+        assert responses_unanimous([]) == (True, [])
+
+    def test_auth_preimage(self):
+        auth = b"\x01" * 32
+        assert verify_auth_preimage(auth, hash_value(auth))
+        assert not verify_auth_preimage(auth, hash_value(b"other"))

@@ -1,0 +1,143 @@
+"""Store-and-forward (MOM) transport (section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DEFERRED_SYNCHRONOUS,
+    Community,
+    DictB2BObject,
+    SimRuntime,
+)
+from repro.storage.backends import MemoryRecordStore
+from repro.transport.base import Envelope
+from repro.transport.mom import BrokeredSimNetwork
+from repro.transport.reliable import ReliableEndpoint
+
+
+def make_community(seed=0, **net_kwargs):
+    network = BrokeredSimNetwork(seed=seed, **net_kwargs)
+    runtime = SimRuntime(network=network)
+    community = Community(["OrgA", "OrgB"], runtime=runtime)
+    replicas = {n: DictB2BObject() for n in community.names()}
+    controllers = community.found_object("shared", replicas)
+    return community, network, controllers, replicas
+
+
+class TestBrokeredDelivery:
+    def test_basic_store_and_forward(self):
+        network = BrokeredSimNetwork(seed=1)
+        got = []
+        network.register("B", got.append)
+        network.send(Envelope("A", "B", {"x": 1}))
+        network.run(max_time=1.0)
+        assert len(got) == 1
+
+    def test_detached_recipient_accumulates_mail(self):
+        network = BrokeredSimNetwork(seed=2)
+        got = []
+        network.register("B", got.append)
+        network.detach("B")
+        for i in range(3):
+            network.send(Envelope("A", "B", {"i": i}))
+        network.run(max_time=1.0)
+        assert got == []
+        assert network.mailbox_depth("B") == 3
+        network.attach("B")
+        network.run(max_time=2.0)
+        assert [e.payload["i"] for e in got] == [0, 1, 2]
+        assert network.mailbox_depth("B") == 0
+
+    def test_ordering_preserved_per_mailbox(self):
+        network = BrokeredSimNetwork(seed=3)
+        got = []
+        network.register("B", got.append)
+        for i in range(10):
+            network.send(Envelope("A", "B", {"i": i}))
+        network.run(max_time=2.0)
+        assert [e.payload["i"] for e in got] == list(range(10))
+
+    def test_crashed_endpoint_keeps_mail_queued(self):
+        network = BrokeredSimNetwork(seed=4)
+        got = []
+        network.register("B", got.append)
+        network.crash("B")
+        network.send(Envelope("A", "B", {"x": 1}))
+        network.run(max_time=0.5)
+        assert got == [] and network.mailbox_depth("B") == 1
+        network.recover("B")
+        network.run(max_time=2.0)
+        assert len(got) == 1  # mail survived the crash (vs. direct network)
+
+    def test_mailbox_durability_hook(self):
+        stores = {}
+
+        def factory(recipient):
+            stores[recipient] = MemoryRecordStore()
+            return stores[recipient]
+
+        network = BrokeredSimNetwork(seed=5, mailbox_store_factory=factory)
+        network.register("B", lambda e: None)
+        network.send(Envelope("A", "B", {"x": 1}))
+        network.run(max_time=1.0)
+        assert len(stores["B"]) == 1
+
+    def test_reliable_layer_over_broker(self):
+        network = BrokeredSimNetwork(seed=6)
+        inbox = []
+        sender = ReliableEndpoint("A", network, retransmit_interval=0.1)
+        receiver = ReliableEndpoint("B", network, retransmit_interval=0.1)
+        receiver.on_message(lambda peer, payload: inbox.append(payload))
+        network.detach("B")
+        sender.send("B", {"x": 1})
+        network.run(max_time=1.0)
+        assert inbox == []
+        network.attach("B")
+        network.run(max_time=5.0)
+        # retransmissions may have queued duplicates; dedup gives once-only
+        assert inbox == [{"x": 1}]
+
+
+class TestCoordinationOverMom:
+    def test_online_coordination(self):
+        community, network, controllers, replicas = make_community(seed=10)
+        controller = controllers["OrgA"]
+        controller.enter()
+        controller.overwrite()
+        replicas["OrgA"].set_attribute("k", 1)
+        controller.leave()
+        community.settle(2.0)
+        assert replicas["OrgB"].get_attribute("k") == 1
+
+    def test_offline_peer_coordination_completes_on_attach(self):
+        community, network, controllers, replicas = make_community(seed=11)
+        network.detach("OrgB")
+        controller = controllers["OrgA"]
+        controller.mode = DEFERRED_SYNCHRONOUS
+        controller.enter()
+        controller.overwrite()
+        replicas["OrgA"].set_attribute("k", 2)
+        ticket = controller.leave()
+        community.settle(2.0)
+        assert not ticket.done
+        assert network.mailbox_depth("OrgB") > 0
+        network.attach("OrgB")
+        community.settle(5.0)
+        assert ticket.done and ticket.valid
+        assert replicas["OrgB"].get_attribute("k") == 2
+
+    def test_evidence_intact_after_offline_exchange(self):
+        community, network, controllers, replicas = make_community(seed=12)
+        network.detach("OrgB")
+        controller = controllers["OrgA"]
+        controller.mode = DEFERRED_SYNCHRONOUS
+        controller.enter()
+        controller.overwrite()
+        replicas["OrgA"].set_attribute("k", 3)
+        ticket = controller.leave()
+        network.attach("OrgB")
+        community.settle(5.0)
+        controller.coord_commit(ticket)
+        for name in community.names():
+            assert community.node(name).ctx.evidence.verify_chain() > 0

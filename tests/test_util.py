@@ -1,0 +1,81 @@
+"""Clocks and identifier helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.clocks import OffsetClock, SystemClock, VirtualClock
+from repro.util.identifiers import SequenceAllocator, qualified_name, validate_party_id
+
+
+class TestVirtualClock:
+    def test_starts_at_configured_time(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_to_is_monotonic(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(5.0)  # no-op: already past
+        assert clock.now() == 10.0
+        clock.advance_to(12.0)
+        assert clock.now() == 12.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestOffsetClock:
+    def test_offset_applies(self):
+        base = VirtualClock(100.0)
+        skewed = OffsetClock(base, -3.0)
+        assert skewed.now() == 97.0
+
+    def test_tracks_base(self):
+        base = VirtualClock()
+        skewed = OffsetClock(base, 1.0)
+        base.advance(5.0)
+        assert skewed.now() == 6.0
+
+
+class TestSystemClock:
+    def test_moves_forward(self):
+        clock = SystemClock()
+        assert clock.now() <= clock.now()
+
+
+class TestPartyIds:
+    def test_valid_ids(self):
+        for good in ("OrgA", "a", "Org-1.test_x", "X" * 128):
+            assert validate_party_id(good) == good
+
+    @pytest.mark.parametrize("bad", ["", " lead", "has space", "a/b", "-lead",
+                                     ".lead", "X" * 129, "nul\x00l"])
+    def test_invalid_ids(self, bad):
+        with pytest.raises(ValueError):
+            validate_party_id(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            validate_party_id(42)  # type: ignore[arg-type]
+
+    def test_qualified_name(self):
+        assert qualified_name("OrgA", "order") == "OrgA/order"
+
+    def test_qualified_name_rejects_slash(self):
+        with pytest.raises(ValueError):
+            qualified_name("OrgA", "a/b")
+
+
+class TestSequenceAllocator:
+    def test_monotonic(self):
+        alloc = SequenceAllocator()
+        values = [alloc.next() for _ in range(5)]
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_custom_start(self):
+        assert SequenceAllocator(10).next() == 10
