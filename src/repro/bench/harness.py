@@ -9,16 +9,18 @@ from repro.core.community import Community
 from repro.core.object import DictB2BObject
 from repro.core.runtime import SimRuntime
 from repro.errors import ValidationFailed
+from repro.obs.hooks import Instrumentation
 from repro.transport.inmemory import LinkProfile
 
 
 def build_community(n_parties: int, seed: "int | str" = 0,
                     profile: "LinkProfile | None" = None,
-                    key_bits: int = 512) -> Community:
+                    key_bits: int = 512,
+                    obs: "Instrumentation | None" = None) -> Community:
     """A community of ``Org1..OrgN`` over a deterministic simulated net."""
     names = [f"Org{i + 1}" for i in range(n_parties)]
     runtime = SimRuntime(seed=seed, profile=profile or LinkProfile(latency=0.005))
-    return Community(names, runtime=runtime, key_bits=key_bits)
+    return Community(names, runtime=runtime, key_bits=key_bits, obs=obs)
 
 
 def found_dict_object(community: Community, object_name: str = "shared",

@@ -1,9 +1,20 @@
-"""Measurement helpers for the benchmark harness."""
+"""Measurement helpers for the benchmark harness.
+
+The statistics themselves live in :mod:`repro.obs.metrics` — the single
+implementation shared by the observability registry and the benchmarks —
+so quantiles reported by ``repro bench`` and ``repro obs-report`` can
+never disagree.  This module keeps the benchmark-friendly recorder API
+as a thin adapter.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import exact_quantile, summarise
+from repro.obs.report import format_table
+
+__all__ = ["LatencyRecorder", "MessageCounter", "format_table"]
 
 
 @dataclass
@@ -32,31 +43,13 @@ class LatencyRecorder:
         return max(self.samples) if self.samples else 0.0
 
     def percentile(self, fraction: float) -> float:
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
-        index = min(len(ordered) - 1,
-                    max(0, math.ceil(fraction * len(ordered)) - 1))
-        return ordered[index]
+        return exact_quantile(self.samples, fraction)
 
     def stddev(self) -> float:
-        if len(self.samples) < 2:
-            return 0.0
-        mu = self.mean
-        return math.sqrt(
-            sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1)
-        )
+        return summarise(self.samples)["stddev"]
 
     def summary(self) -> dict:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.minimum,
-            "max": self.maximum,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "stddev": self.stddev(),
-        }
+        return summarise(self.samples)
 
 
 @dataclass
@@ -72,25 +65,3 @@ class MessageCounter:
         current = network.stats.snapshot()
         return {key: current[key] - self.baseline.get(key, 0)
                 for key in current}
-
-
-def format_table(headers: "list[str]", rows: "list[list]") -> str:
-    """Render an aligned plain-text table (benchmark report output)."""
-    text_rows = [[_cell(value) for value in row] for row in rows]
-    widths = [len(header) for header in headers]
-    for row in text_rows:
-        for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
-    lines = [
-        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
-        "  ".join("-" * widths[i] for i in range(len(headers))),
-    ]
-    for row in text_rows:
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
-    return "\n".join(lines)
-
-
-def _cell(value) -> str:
-    if isinstance(value, float):
-        return f"{value:.4g}"
-    return str(value)

@@ -6,6 +6,7 @@ Usage::
     python -m repro show-log PATH          # list evidence entries
     python -m repro keygen --id OrgA       # generate a signing key pair
     python -m repro simulate [options]     # run a coordination workload
+    python -m repro obs-report [options]   # instrumented run + breakdown
     python -m repro demo NAME              # run a built-in demo scenario
 
 The log commands operate on the crash-safe JSON-lines files produced by
@@ -163,13 +164,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.runtime import SimRuntime
     from repro.transport.inmemory import LinkProfile
 
+    obs = None
+    if args.obs:
+        from repro.obs import RecordingInstrumentation
+
+        obs = RecordingInstrumentation()
     profile = LinkProfile(
         latency=args.latency, jitter=args.jitter,
         drop_probability=args.drop, duplicate_probability=args.duplicate,
     )
     names = [f"Org{i + 1}" for i in range(args.parties)]
     community = Community(
-        names, runtime=SimRuntime(seed=args.seed, profile=profile),
+        names, runtime=SimRuntime(seed=args.seed, profile=profile), obs=obs,
     )
     controllers, _objects = found_dict_object(community)
     if args.fault != "none" and args.failures > 0:
@@ -196,6 +202,76 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  messages: sent={messages['sent']} delivered={messages['delivered']} "
           f"dropped={messages['dropped']} duplicated={messages['duplicated']}")
     print("  replicas converged: yes")
+    if obs is not None:
+        print()
+        print(obs.report())
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Instrumented 3-party Tic-Tac-Toe run + per-phase breakdown report."""
+    from repro.apps.tictactoe import (
+        CROSS,
+        NOUGHT,
+        TicTacToeObject,
+        TicTacToePlayer,
+    )
+    from repro.core.community import Community
+    from repro.core.runtime import SimRuntime
+    from repro.errors import ValidationFailed
+    from repro.obs import JsonLinesExporter, RecordingInstrumentation, Tracer
+    from repro.transport.inmemory import LinkProfile
+
+    tracer = Tracer()
+    exporter = None
+    if args.trace_out:
+        exporter = JsonLinesExporter(args.trace_out)
+        tracer.add_exporter(exporter)
+    obs = RecordingInstrumentation(tracer=tracer)
+
+    profile = LinkProfile(
+        latency=args.latency,
+        drop_probability=args.drop,
+        duplicate_probability=args.duplicate,
+    )
+    # Two players plus a witness organisation sharing the game object —
+    # the smallest community where m2/m3 fan-out is visible (n=3).
+    names = ["Cross", "Nought", "Witness"]
+    community = Community(
+        names, runtime=SimRuntime(seed=args.seed, profile=profile), obs=obs,
+    )
+    players = {"Cross": CROSS, "Nought": NOUGHT}
+    objects = {name: TicTacToeObject(players=players) for name in names}
+    controllers = community.found_object("game", objects)
+    cross = TicTacToePlayer(controllers["Cross"], CROSS)
+    nought = TicTacToePlayer(controllers["Nought"], NOUGHT)
+
+    rejected = 0
+    moves = [(cross, 4, None), (nought, 0, None), (cross, 5, None),
+             (cross, 7, NOUGHT),  # the Figure 5 cheat attempt — vetoed
+             (nought, 8, None), (cross, 3, None)]
+    for player, cell, mark in moves:
+        try:
+            player.save_move(cell, mark)
+        except ValidationFailed:
+            rejected += 1
+    community.settle()
+    community.close()
+    if exporter is not None:
+        exporter.close()
+
+    game = objects["Witness"]
+    board = game.board
+    print(f"3-party Tic-Tac-Toe over lossy links "
+          f"(seed={args.seed} drop={args.drop} duplicate={args.duplicate})")
+    for row in range(3):
+        print("  " + " ".join(cell or "." for cell in board[row * 3:row * 3 + 3]))
+    print(f"  winner: {game.winner or '(none)'}  "
+          f"vetoed moves: {rejected}")
+    if args.trace_out:
+        print(f"  trace records written to {args.trace_out}")
+    print()
+    print(obs.report())
     return 0
 
 
@@ -291,7 +367,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fault", choices=["none", "crash", "partition"],
                           default="none")
     simulate.add_argument("--failures", type=int, default=0)
+    simulate.add_argument("--obs", action="store_true",
+                          help="record metrics and print the obs report")
     simulate.set_defaults(func=_cmd_simulate)
+
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="instrumented Tic-Tac-Toe run with a per-phase breakdown",
+    )
+    obs_report.add_argument("--seed", type=int, default=0)
+    obs_report.add_argument("--latency", type=float, default=0.005)
+    obs_report.add_argument("--drop", type=float, default=0.1)
+    obs_report.add_argument("--duplicate", type=float, default=0.05)
+    obs_report.add_argument("--trace-out", default=None,
+                            help="also write trace records to this JSONL file")
+    obs_report.set_defaults(func=_cmd_obs_report)
 
     demo = sub.add_parser("demo", help="run a built-in demo scenario")
     demo.add_argument("name", choices=sorted(_DEMOS))

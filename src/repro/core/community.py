@@ -19,9 +19,15 @@ from repro.core.object import B2BObject
 from repro.core.runtime import Runtime, SimRuntime
 from repro.crypto.certificates import Certificate, CertificateAuthority, CertificateStore
 from repro.crypto.prng import DeterministicRandomSource
-from repro.crypto.signature import Verifier, generate_party_keypair
+from repro.crypto.signature import (
+    InstrumentedSigner,
+    InstrumentedVerifier,
+    Verifier,
+    generate_party_keypair,
+)
 from repro.crypto.timestamp import TimestampService
 from repro.errors import ConfigurationError
+from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation
 from repro.protocol.context import PartyContext
 from repro.protocol.group import ROTATING
 from repro.storage.checkpoint import CheckpointStore
@@ -41,9 +47,11 @@ class Community:
                  key_bits: int = DEFAULT_KEY_BITS,
                  retransmit_interval: float = 0.05,
                  clock: "Clock | None" = None,
-                 storage_dir: "str | None" = None) -> None:
+                 storage_dir: "str | None" = None,
+                 obs: "Instrumentation | None" = None) -> None:
         if len(set(names)) != len(names):
             raise ConfigurationError("organisation names must be unique")
+        self.obs = obs if obs is not None else NULL_INSTRUMENTATION
         self.runtime = runtime if runtime is not None else SimRuntime(seed=seed)
         if clock is not None:
             self.clock = clock
@@ -54,19 +62,18 @@ class Community:
         else:
             self.clock = SystemClock()
         self._rng = DeterministicRandomSource(f"community:{seed}")
+        self._key_bits = key_bits
         self.ca = CertificateAuthority(
             "CA", clock=self.clock,
-            keypair=generate_party_keypair("CA", bits=key_bits,
-                                           rng=self._rng.fork("CA")),
+            keypair=self._keypair("CA", self._rng.fork("CA")),
         )
         self.tsa = TimestampService(
             "TSA", clock=self.clock,
-            keypair=generate_party_keypair("TSA", bits=key_bits,
-                                           rng=self._rng.fork("TSA")),
+            keypair=self._keypair("TSA", self._rng.fork("TSA")),
         )
         self.nodes: "dict[str, OrganisationNode]" = {}
         self.certificates: "dict[str, Certificate]" = {}
-        self._key_bits = key_bits
+        self._stores: "dict[str, CertificateStore]" = {}
         self._retransmit_interval = retransmit_interval
         # When set, every organisation's evidence log, journal and
         # checkpoints live in crash-safe files under
@@ -84,9 +91,7 @@ class Community:
         """Enrol an organisation: keys, certificate, store, node."""
         if name in self.nodes:
             raise ConfigurationError(f"organisation {name!r} already exists")
-        keypair = generate_party_keypair(
-            name, bits=self._key_bits, rng=self._rng.fork(f"key:{name}")
-        )
+        keypair = self._keypair(name, self._rng.fork(f"key:{name}"))
         certificate = self.ca.issue(name, keypair.public_key)
         self.certificates[name] = certificate
 
@@ -96,20 +101,33 @@ class Community:
         # theirs in the connection request.
         for cert in self.certificates.values():
             store.add_certificate(cert)
-        for node in self.nodes.values():
-            node_store = node.ctx.resolver.__self__  # type: ignore[attr-defined]
-            node_store.add_certificate(certificate)
+        for other_store in self._stores.values():
+            other_store.add_certificate(certificate)
+        self._stores[name] = store
+
+        signer = keypair.signer()
+        resolver = store.verifier_for
+        if self.obs.enabled:
+            signer = InstrumentedSigner(signer, self.obs)
+
+            def resolver(party_id: str,
+                         _store: CertificateStore = store) -> Verifier:
+                return InstrumentedVerifier(_store.verifier_for(party_id),
+                                            self.obs)
 
         ctx = PartyContext(
             party_id=name,
-            signer=keypair.signer(),
-            resolver=store.verifier_for,
+            signer=signer,
+            resolver=resolver,
             tsa=self.tsa,
             rng=self._rng.fork(f"rng:{name}"),
             clock=self.clock,
-            evidence=NonRepudiationLog(name, self._record_store(name, "evidence")),
-            journal=MessageJournal(name, self._record_store(name, "journal")),
+            evidence=NonRepudiationLog(name, self._record_store(name, "evidence"),
+                                       obs=self.obs),
+            journal=MessageJournal(name, self._record_store(name, "journal"),
+                                   obs=self.obs),
             checkpoints=CheckpointStore(self._record_store(name, "checkpoints")),
+            obs=self.obs,
         )
 
         def certificate_resolver(party_id: str,
@@ -122,7 +140,10 @@ class Community:
                         f"certificate subject {certificate.subject!r} != {party_id!r}"
                     )
                 _store.add_certificate(certificate)
-            return _store.verifier_for(party_id)
+            verifier = _store.verifier_for(party_id)
+            if self.obs.enabled:
+                verifier = InstrumentedVerifier(verifier, self.obs)
+            return verifier
 
         node = OrganisationNode(
             ctx, self.runtime,
@@ -183,6 +204,22 @@ class Community:
                 engine_cls=engine_cls,
             )
         return controllers
+
+    def _keypair(self, name: str, rng):
+        """Generate a key pair, timing it only when observability is on.
+
+        Timing wraps the call rather than forwarding an ``obs`` keyword so
+        test/benchmark fixtures may monkeypatch
+        :func:`generate_party_keypair` with simpler signatures.
+        """
+        if not self.obs.enabled:
+            return generate_party_keypair(name, bits=self._key_bits, rng=rng)
+        import time
+
+        started = time.perf_counter()
+        keypair = generate_party_keypair(name, bits=self._key_bits, rng=rng)
+        self.obs.keygen_timing(self._key_bits, 1, time.perf_counter() - started)
+        return keypair
 
     def _record_store(self, name: str, kind: str):
         """Store backend for one organisation's durable records."""

@@ -55,7 +55,8 @@ class OrganisationNode:
         self.certificate = certificate
         self.party = ProtocolParty(ctx, certificate_resolver=certificate_resolver)
         self.endpoint = ReliableEndpoint(
-            ctx.party_id, runtime.network, retransmit_interval=retransmit_interval
+            ctx.party_id, runtime.network,
+            retransmit_interval=retransmit_interval, obs=ctx.obs,
         )
         self.endpoint.on_message(self._on_message)
         self.controllers: "dict[str, B2BObjectController]" = {}

@@ -7,11 +7,13 @@ exercising every code path) while deployments can request 2048-bit keys.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.crypto.numbers import generate_prime, mod_inverse
 from repro.crypto.prng import RandomSource, SystemRandomSource
 from repro.errors import KeyGenerationError
+from repro.obs.hooks import Instrumentation
 
 DEFAULT_PUBLIC_EXPONENT = 65537
 DEFAULT_KEY_BITS = 512
@@ -74,7 +76,8 @@ class RsaPrivateKey:
 
 def generate_keypair(bits: int = DEFAULT_KEY_BITS,
                      rng: "RandomSource | None" = None,
-                     public_exponent: int = DEFAULT_PUBLIC_EXPONENT) -> RsaPrivateKey:
+                     public_exponent: int = DEFAULT_PUBLIC_EXPONENT,
+                     obs: "Instrumentation | None" = None) -> RsaPrivateKey:
     """Generate an RSA key pair with a modulus of exactly *bits* bits."""
     if bits < 128:
         raise KeyGenerationError(f"modulus of {bits} bits is too small (minimum 128)")
@@ -84,7 +87,8 @@ def generate_keypair(bits: int = DEFAULT_KEY_BITS,
         raise KeyGenerationError("public exponent must be an odd integer >= 3")
     rng = rng or SystemRandomSource()
     half = bits // 2
-    for _ in range(64):
+    started = time.perf_counter() if obs is not None and obs.enabled else 0.0
+    for attempt in range(1, 65):
         p = generate_prime(half, rng.random_below)
         q = generate_prime(half, rng.random_below)
         if p == q:
@@ -97,6 +101,8 @@ def generate_keypair(bits: int = DEFAULT_KEY_BITS,
         n = p * q
         if n.bit_length() != bits:
             continue
+        if obs is not None and obs.enabled:
+            obs.keygen_timing(bits, attempt, time.perf_counter() - started)
         return RsaPrivateKey(
             modulus=n,
             public_exponent=public_exponent,

@@ -10,6 +10,7 @@ the shared key, and is flagged as such).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -25,6 +26,7 @@ from repro.crypto.rsa import (
     rsa_verify_int,
 )
 from repro.errors import SignatureError
+from repro.obs.hooks import Instrumentation
 from repro.util.encoding import canonical_bytes
 
 # DigestInfo prefix for SHA-256 (DER), as in PKCS#1 v1.5 signatures.
@@ -178,6 +180,52 @@ class HmacVerifier(Verifier):
         return constant_time_equal(signature.value, hmac_digest(self._key, data))
 
 
+class InstrumentedSigner(Signer):
+    """Decorator timing every ``sign_bytes`` call into an instrumentation.
+
+    Wrapping keeps the measurement at the crypto boundary: the protocol
+    engines above see an ordinary :class:`Signer`, and the timing covers
+    exactly one primitive operation (no double counting when an engine
+    signs the same value once but logs it in several places).
+    """
+
+    def __init__(self, inner: Signer, obs: Instrumentation) -> None:
+        super().__init__(inner.party_id)
+        self.scheme = inner.scheme
+        self._inner = inner
+        self._obs = obs
+
+    def sign_bytes(self, data: bytes) -> Signature:
+        if not self._obs.enabled:
+            return self._inner.sign_bytes(data)
+        started = time.perf_counter()
+        signature = self._inner.sign_bytes(data)
+        self._obs.sign_timing(
+            self.party_id, signature.scheme, len(data),
+            time.perf_counter() - started,
+        )
+        return signature
+
+
+class InstrumentedVerifier(Verifier):
+    """Decorator timing every ``verify_bytes`` call into an instrumentation."""
+
+    def __init__(self, inner: Verifier, obs: Instrumentation) -> None:
+        self.scheme = inner.scheme
+        self._inner = inner
+        self._obs = obs
+
+    def verify_bytes(self, data: bytes, signature: Signature) -> bool:
+        if not self._obs.enabled:
+            return self._inner.verify_bytes(data, signature)
+        started = time.perf_counter()
+        ok = self._inner.verify_bytes(data, signature)
+        self._obs.verify_timing(
+            signature.scheme, len(data), time.perf_counter() - started, ok,
+        )
+        return ok
+
+
 @dataclass(frozen=True)
 class KeyPair:
     """A party's signing key pair plus ready-made signer/verifier."""
@@ -198,9 +246,11 @@ class KeyPair:
 
 def generate_party_keypair(party_id: str,
                            bits: int = DEFAULT_KEY_BITS,
-                           rng: "RandomSource | None" = None) -> KeyPair:
+                           rng: "RandomSource | None" = None,
+                           obs: "Instrumentation | None" = None) -> KeyPair:
     """Generate a named key pair for a party."""
-    return KeyPair(party_id=party_id, private_key=generate_keypair(bits, rng))
+    return KeyPair(party_id=party_id,
+                   private_key=generate_keypair(bits, rng, obs=obs))
 
 
 def verifier_for_public_key(key_dict: dict) -> Verifier:

@@ -1,0 +1,64 @@
+"""``repro.obs`` — structured tracing and metrics for the middleware.
+
+The subsystem has three parts:
+
+* :mod:`repro.obs.metrics` — counters, gauges and streaming histograms
+  in a :class:`MetricsRegistry` (the one statistics implementation);
+* :mod:`repro.obs.trace` — a :class:`Tracer` emitting typed span/event
+  records to in-memory collectors or a JSON-lines file;
+* :mod:`repro.obs.hooks` — the :class:`Instrumentation` hook interface
+  threaded through protocol, transport, crypto and storage, with
+  :data:`NULL_INSTRUMENTATION` as the zero-overhead default and
+  :class:`RecordingInstrumentation` as the recording implementation.
+
+See ``docs/OBSERVABILITY.md`` for the hook and metric catalogue.
+"""
+
+from repro.obs.hooks import (
+    NULL_INSTRUMENTATION,
+    PHASE_M1,
+    PHASE_M2,
+    PHASE_M3,
+    Instrumentation,
+    approx_size,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+    exact_quantile,
+    summarise,
+)
+from repro.obs.recording import RecordingInstrumentation
+from repro.obs.report import format_table, render_report
+from repro.obs.trace import (
+    InMemoryCollector,
+    JsonLinesExporter,
+    TraceRecord,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "NULL_INSTRUMENTATION",
+    "PHASE_M1",
+    "PHASE_M2",
+    "PHASE_M3",
+    "Instrumentation",
+    "approx_size",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "exact_quantile",
+    "summarise",
+    "RecordingInstrumentation",
+    "format_table",
+    "render_report",
+    "InMemoryCollector",
+    "JsonLinesExporter",
+    "TraceRecord",
+    "Tracer",
+    "read_jsonl",
+]

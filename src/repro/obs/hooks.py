@@ -1,0 +1,129 @@
+"""The instrumentation hook interface threaded through the runtime layers.
+
+Every layer that does observable work — protocol engines, the reliable
+transport, the crypto substrate, the storage stores — holds an
+:class:`Instrumentation` and calls its typed hook methods at the
+interesting moments.  The base class is a complete no-op with
+``enabled = False``; hot paths guard any measurement work (sizing a
+message, reading a performance counter) behind that flag, so an
+uninstrumented deployment pays one attribute read per hook site and
+nothing else.
+
+:class:`~repro.obs.recording.RecordingInstrumentation` is the production
+implementation, turning hook calls into registry metrics and trace
+records.  Tests may subclass :class:`Instrumentation` directly to probe a
+single hook.
+"""
+
+from __future__ import annotations
+
+# Protocol phases of the state-coordination run (sections 4.3/4.4).
+PHASE_M1 = "m1"  # propose
+PHASE_M2 = "m2"  # respond
+PHASE_M3 = "m3"  # commit
+
+SENT = "sent"
+RECEIVED = "received"
+
+
+def approx_size(value) -> int:
+    """Canonical-encoding size of a message, 0 when unencodable."""
+    from repro.util.encoding import canonical_bytes
+
+    try:
+        return len(canonical_bytes(value))
+    except (TypeError, ValueError):
+        return 0
+
+
+class Instrumentation:
+    """No-op hook interface; override any subset of methods.
+
+    All hooks must stay cheap and exception-free: they run inline on
+    protocol hot paths.  ``enabled`` gates the *callers'* measurement
+    work — an implementation that records must set it True, and code
+    producing hook arguments that cost anything (sizes, timings) must
+    skip that work when it is False.
+    """
+
+    enabled = False
+
+    # -- protocol (engine_base.py / coordination.py) -----------------------
+
+    def run_started(self, party: str, object_name: str, run_id: str,
+                    role: str, mode: str) -> None:
+        """A coordination run began at this party (as proposer/responder)."""
+
+    def run_settled(self, party: str, object_name: str, run_id: str,
+                    role: str, outcome: str, seconds: float) -> None:
+        """A run reached its outcome; *seconds* is protocol-clock elapsed."""
+
+    def protocol_message(self, party: str, object_name: str, run_id: str,
+                         phase: str, direction: str, size: int) -> None:
+        """One m1/m2/m3 message was sent or received (*size* in bytes)."""
+
+    def phase_handled(self, party: str, object_name: str, phase: str,
+                      seconds: float) -> None:
+        """Span: processing one inbound phase message (verify + decide)."""
+
+    def validation_decision(self, party: str, object_name: str, run_id: str,
+                            accepted: bool, diagnostics: "list[str]") -> None:
+        """A responder decided on a proposal (systematic + app checks)."""
+
+    # -- transport (reliable.py / tcp.py) ----------------------------------
+
+    def message_sent(self, party: str, recipient: str, size: int) -> None:
+        """The reliable layer accepted a payload for delivery."""
+
+    def retransmission(self, party: str, recipient: str, msg_id: str,
+                       attempt: int) -> None:
+        """An unacknowledged message was sent again."""
+
+    def retry_exhausted(self, party: str, recipient: str, msg_id: str,
+                        attempts: int) -> None:
+        """A bounded-retry send was abandoned."""
+
+    def duplicate_suppressed(self, party: str, sender: str,
+                             msg_id: str) -> None:
+        """A data message arrived again and was dropped before the engine."""
+
+    def ack_received(self, party: str, msg_id: str) -> None:
+        """An outstanding message was acknowledged."""
+
+    def queue_depth(self, party: str, depth: int) -> None:
+        """Current number of unacknowledged outbound messages."""
+
+    def raw_send(self, sender: str, recipient: str, size: int,
+                 ok: bool) -> None:
+        """A raw network transmission attempt (e.g. one TCP connection)."""
+
+    # -- crypto (rsa.py / signature.py) ------------------------------------
+
+    def sign_timing(self, party: str, scheme: str, size: int,
+                    seconds: float) -> None:
+        """One signature was produced over *size* bytes."""
+
+    def verify_timing(self, scheme: str, size: int, seconds: float,
+                      ok: bool) -> None:
+        """One signature verification completed (*ok*: it verified)."""
+
+    def keygen_timing(self, bits: int, attempts: int,
+                      seconds: float) -> None:
+        """A key pair was generated after *attempts* prime draws."""
+
+    # -- storage (journal.py / log.py) -------------------------------------
+
+    def journal_append(self, party: str, run_id: str, direction: str,
+                       size: int, seconds: float) -> None:
+        """One message record was appended to the journal store."""
+
+    def journal_closed(self, party: str, run_id: str, outcome: str) -> None:
+        """A run's journal was closed with *outcome*."""
+
+    def evidence_append(self, party: str, kind: str, size: int,
+                        seconds: float) -> None:
+        """One entry was appended to the non-repudiation log."""
+
+
+#: Shared default instance: every layer's "observability off" value.
+NULL_INSTRUMENTATION = Instrumentation()

@@ -1,0 +1,257 @@
+"""Metric instruments: counters, gauges and streaming histograms.
+
+One statistics implementation for the whole repository.  The benchmark
+helpers in :mod:`repro.bench.metrics` delegate here, and the runtime
+instrumentation (:mod:`repro.obs.recording`) records into a
+:class:`MetricsRegistry` of these instruments.
+
+:class:`StreamingHistogram` estimates quantiles without storing samples:
+observations land in geometrically spaced buckets (relative error bounded
+by the growth factor), so memory stays O(log(max/min)) however many
+values are recorded — suitable for per-message latency on hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Sequence
+
+
+def exact_quantile(samples: "Sequence[float]", fraction: float) -> float:
+    """Quantile of *samples* with linear interpolation between ranks.
+
+    ``fraction`` is clamped to [0, 1]; an empty sequence yields 0.0.
+    This is the repository's single exact-quantile implementation (the
+    former ``LatencyRecorder.percentile`` nearest-rank variant returned
+    the lower sample for even-count medians and is retired).
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if fraction <= 0.0:
+        return ordered[0]
+    if fraction >= 1.0:
+        return ordered[-1]
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def summarise(samples: "Sequence[float]") -> dict:
+    """Summary statistics dict shared by recorders and reports."""
+    if not samples:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0, "stddev": 0.0}
+    count = len(samples)
+    mean = sum(samples) / count
+    if count < 2:
+        stddev = 0.0
+    else:
+        stddev = math.sqrt(
+            sum((s - mean) ** 2 for s in samples) / (count - 1)
+        )
+    return {
+        "count": count,
+        "mean": mean,
+        "min": min(samples),
+        "max": max(samples),
+        "p50": exact_quantile(samples, 0.50),
+        "p95": exact_quantile(samples, 0.95),
+        "p99": exact_quantile(samples, 0.99),
+        "stddev": stddev,
+    }
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-written value plus its high-water mark."""
+
+    __slots__ = ("name", "_value", "_high_water", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._high_water = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._value = value
+            if value > self._high_water:
+                self._high_water = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def high_water(self) -> float:
+        return self._high_water
+
+
+class StreamingHistogram:
+    """Quantile estimation over geometric buckets, without sample storage.
+
+    Positive observations fall into bucket ``floor(log(v) / log(growth))``;
+    non-positive observations are tracked separately and report as 0.0.
+    Quantile estimates carry at most ``growth - 1`` relative error and are
+    clamped to the observed [min, max] range.
+    """
+
+    __slots__ = ("name", "_growth", "_log_growth", "_buckets", "_nonpositive",
+                 "count", "total", "_min", "_max", "_lock")
+
+    def __init__(self, name: str = "", growth: float = 1.05) -> None:
+        if growth <= 1.0:
+            raise ValueError("growth factor must exceed 1.0")
+        self.name = name
+        self._growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: "dict[int, int]" = {}
+        self._nonpositive = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if value <= 0.0:
+                self._nonpositive += 1
+            else:
+                index = int(math.floor(math.log(value) / self._log_growth))
+                self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def observe_many(self, values: "Iterable[float]") -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        if self.count == 0:
+            return 0.0
+        if fraction <= 0.0:
+            return self.minimum
+        if fraction >= 1.0:
+            return self.maximum
+        target = fraction * self.count
+        seen = self._nonpositive
+        if seen >= target:
+            return min(0.0, self.maximum)
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= target:
+                # Geometric midpoint of the bucket's bounds.
+                estimate = self._growth ** (index + 0.5)
+                return max(self.minimum, min(estimate, self.maximum))
+        return self.maximum
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and shared thereafter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: "dict[str, Counter]" = {}
+        self._gauges: "dict[str, Gauge]" = {}
+        self._histograms: "dict[str, StreamingHistogram]" = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, growth: float = 1.05) -> StreamingHistogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = StreamingHistogram(
+                    name, growth=growth
+                )
+            return instrument
+
+    # -- read side ---------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def counters(self) -> "dict[str, int]":
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> "dict[str, dict]":
+        return {name: {"value": g.value, "high_water": g.high_water}
+                for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> "dict[str, dict]":
+        return {name: h.summary() for name, h in sorted(self._histograms.items())}
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }

@@ -1,0 +1,137 @@
+"""The recording implementation of the instrumentation hooks.
+
+Maps every hook onto registry instruments (see the catalogue in
+``docs/OBSERVABILITY.md``) and, for run-level activity, onto trace
+records.  One instance is shared by all parties of a community, so the
+registry aggregates across the whole deployment; per-party attribution
+lives in the trace records.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.hooks import Instrumentation
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import InMemoryCollector, Tracer
+
+
+class RecordingInstrumentation(Instrumentation):
+    """Hook implementation recording into a registry and a tracer."""
+
+    enabled = True
+
+    def __init__(self, registry: "MetricsRegistry | None" = None,
+                 tracer: "Tracer | None" = None,
+                 collect: bool = False) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.collector: "Optional[InMemoryCollector]" = None
+        if collect:
+            self.collector = InMemoryCollector()
+            self.tracer.add_exporter(self.collector)
+
+    # -- protocol ----------------------------------------------------------
+
+    def run_started(self, party, object_name, run_id, role, mode):
+        self.registry.counter("protocol.runs.started").inc()
+        self.registry.counter(f"protocol.runs.started.{role}").inc()
+        self.tracer.event("run.started", party=party, object=object_name,
+                          run_id=run_id, role=role, mode=mode)
+
+    def run_settled(self, party, object_name, run_id, role, outcome, seconds):
+        self.registry.counter(f"protocol.runs.{outcome}").inc()
+        self.registry.histogram("protocol.run_seconds").observe(seconds)
+        self.registry.histogram(f"protocol.run_seconds.{role}").observe(seconds)
+        self.tracer.span_end("run.settled", seconds, party=party,
+                             object=object_name, run_id=run_id, role=role,
+                             outcome=outcome)
+
+    def protocol_message(self, party, object_name, run_id, phase,
+                         direction, size):
+        self.registry.counter(f"protocol.{phase}.{direction}").inc()
+        self.registry.counter(f"protocol.{phase}.bytes_{direction}").inc(size)
+        self.registry.counter(f"protocol.messages.{direction}").inc()
+
+    def phase_handled(self, party, object_name, phase, seconds):
+        self.registry.histogram(f"protocol.{phase}.handle_seconds").observe(seconds)
+        self.tracer.span_end("phase.handle", seconds, party=party,
+                             object=object_name, phase=phase)
+
+    def validation_decision(self, party, object_name, run_id, accepted,
+                            diagnostics):
+        verdict = "accepted" if accepted else "rejected"
+        self.registry.counter(f"protocol.validation.{verdict}").inc()
+        self.tracer.event("validation.decision", party=party,
+                          object=object_name, run_id=run_id,
+                          accepted=accepted,
+                          diagnostics=len(diagnostics))
+
+    # -- transport ---------------------------------------------------------
+
+    def message_sent(self, party, recipient, size):
+        self.registry.counter("transport.data_sent").inc()
+        self.registry.counter("transport.bytes_sent").inc(size)
+
+    def retransmission(self, party, recipient, msg_id, attempt):
+        self.registry.counter("transport.retransmissions").inc()
+
+    def retry_exhausted(self, party, recipient, msg_id, attempts):
+        self.registry.counter("transport.retry_exhausted").inc()
+        self.tracer.event("transport.retry_exhausted", party=party,
+                          recipient=recipient, msg_id=msg_id,
+                          attempts=attempts)
+
+    def duplicate_suppressed(self, party, sender, msg_id):
+        self.registry.counter("transport.duplicates_suppressed").inc()
+
+    def ack_received(self, party, msg_id):
+        self.registry.counter("transport.acks_received").inc()
+
+    def queue_depth(self, party, depth):
+        self.registry.gauge("transport.queue_depth").set(depth)
+
+    def raw_send(self, sender, recipient, size, ok):
+        self.registry.counter("transport.raw.sent").inc()
+        self.registry.counter("transport.raw.bytes_sent").inc(size)
+        if not ok:
+            self.registry.counter("transport.raw.send_errors").inc()
+
+    # -- crypto ------------------------------------------------------------
+
+    def sign_timing(self, party, scheme, size, seconds):
+        self.registry.counter("crypto.sign.count").inc()
+        self.registry.histogram("crypto.sign_seconds").observe(seconds)
+
+    def verify_timing(self, scheme, size, seconds, ok):
+        self.registry.counter("crypto.verify.count").inc()
+        if not ok:
+            self.registry.counter("crypto.verify.failures").inc()
+        self.registry.histogram("crypto.verify_seconds").observe(seconds)
+
+    def keygen_timing(self, bits, attempts, seconds):
+        self.registry.counter("crypto.keygen.count").inc()
+        self.registry.counter("crypto.keygen.attempts").inc(attempts)
+        self.registry.histogram("crypto.keygen_seconds").observe(seconds)
+
+    # -- storage -----------------------------------------------------------
+
+    def journal_append(self, party, run_id, direction, size, seconds):
+        self.registry.counter("storage.journal.appends").inc()
+        self.registry.counter("storage.journal.bytes").inc(size)
+        self.registry.histogram("storage.journal.append_seconds").observe(seconds)
+
+    def journal_closed(self, party, run_id, outcome):
+        self.registry.counter("storage.journal.closed").inc()
+
+    def evidence_append(self, party, kind, size, seconds):
+        self.registry.counter("storage.evidence.appends").inc()
+        self.registry.counter("storage.evidence.bytes").inc(size)
+        self.registry.histogram("storage.evidence.append_seconds").observe(seconds)
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> str:
+        from repro.obs.report import render_report
+
+        return render_report(self.registry)

@@ -1,0 +1,138 @@
+"""Plain-text reporting over a metrics registry.
+
+``render_report`` produces the per-phase breakdown the CLI's
+``obs-report`` command and the benchmark ``--obs`` path print: protocol
+message/byte counts and handling spans per phase (m1/m2/m3), sign/verify
+latency histograms, transport reliability counters and storage append
+statistics.
+"""
+
+from __future__ import annotations
+
+from repro.obs.hooks import PHASE_M1, PHASE_M2, PHASE_M3
+from repro.obs.metrics import MetricsRegistry
+
+PHASES = (PHASE_M1, PHASE_M2, PHASE_M3)
+
+
+def format_table(headers: "list[str]", rows: "list[list]") -> str:
+    """Render an aligned plain-text table (shared report output)."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _ms(seconds: float) -> float:
+    return seconds * 1000.0
+
+
+def render_report(registry: MetricsRegistry) -> str:
+    """The full observability report for one instrumented run."""
+    sections = [
+        _phase_section(registry),
+        _crypto_section(registry),
+        _transport_section(registry),
+        _storage_section(registry),
+        _run_section(registry),
+    ]
+    return "\n\n".join(section for section in sections if section)
+
+
+def _phase_section(registry: MetricsRegistry) -> str:
+    rows = []
+    for phase in PHASES:
+        handle = registry.histogram(f"protocol.{phase}.handle_seconds").summary()
+        rows.append([
+            phase,
+            registry.counter_value(f"protocol.{phase}.sent"),
+            registry.counter_value(f"protocol.{phase}.received"),
+            registry.counter_value(f"protocol.{phase}.bytes_sent"),
+            handle["count"],
+            _ms(handle["p50"]),
+            _ms(handle["p95"]),
+            _ms(handle["p99"]),
+        ])
+    table = format_table(
+        ["phase", "sent", "received", "bytes sent",
+         "handled", "handle p50 ms", "p95 ms", "p99 ms"],
+        rows,
+    )
+    return "== protocol phases (m1 propose / m2 respond / m3 commit) ==\n" + table
+
+
+def _crypto_section(registry: MetricsRegistry) -> str:
+    rows = []
+    for op in ("sign", "verify"):
+        summary = registry.histogram(f"crypto.{op}_seconds").summary()
+        rows.append([
+            op, summary["count"], _ms(summary["mean"]),
+            _ms(summary["p50"]), _ms(summary["p95"]), _ms(summary["p99"]),
+        ])
+    table = format_table(
+        ["operation", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms"], rows
+    )
+    return "== signature operations ==\n" + table
+
+
+def _transport_section(registry: MetricsRegistry) -> str:
+    depth = registry.gauge("transport.queue_depth")
+    rows = [
+        ["data messages sent", registry.counter_value("transport.data_sent")],
+        ["retransmissions", registry.counter_value("transport.retransmissions")],
+        ["duplicates suppressed",
+         registry.counter_value("transport.duplicates_suppressed")],
+        ["acks received", registry.counter_value("transport.acks_received")],
+        ["retry exhausted", registry.counter_value("transport.retry_exhausted")],
+        ["max outbound queue depth", depth.high_water],
+    ]
+    return "== reliable transport ==\n" + format_table(["counter", "value"], rows)
+
+
+def _storage_section(registry: MetricsRegistry) -> str:
+    journal = registry.histogram("storage.journal.append_seconds").summary()
+    evidence = registry.histogram("storage.evidence.append_seconds").summary()
+    rows = [
+        ["journal", registry.counter_value("storage.journal.appends"),
+         registry.counter_value("storage.journal.bytes"),
+         _ms(journal["p95"])],
+        ["evidence log", registry.counter_value("storage.evidence.appends"),
+         registry.counter_value("storage.evidence.bytes"),
+         _ms(evidence["p95"])],
+    ]
+    return "== storage ==\n" + format_table(
+        ["store", "appends", "bytes", "append p95 ms"], rows
+    )
+
+
+def _run_section(registry: MetricsRegistry) -> str:
+    started = registry.counter_value("protocol.runs.started")
+    if started == 0:
+        return ""
+    run = registry.histogram("protocol.run_seconds").summary()
+    rows = [
+        ["runs started", started],
+        ["runs valid", registry.counter_value("protocol.runs.valid")],
+        ["runs invalid", registry.counter_value("protocol.runs.invalid")],
+        ["validation accepted",
+         registry.counter_value("protocol.validation.accepted")],
+        ["validation rejected",
+         registry.counter_value("protocol.validation.rejected")],
+        ["run time p50 (s)", run["p50"]],
+        ["run time p95 (s)", run["p95"]],
+    ]
+    return "== coordination runs ==\n" + format_table(["metric", "value"], rows)

@@ -1,0 +1,156 @@
+"""Structured tracing: typed span/event records with pluggable exporters.
+
+A :class:`Tracer` turns protocol activity into flat, timestamped records
+(run id, party, phase, sizes, durations) that can be collected in memory
+for assertions or streamed as JSON lines for offline analysis.  Records
+are plain data — no object graph to walk — so an exporter is just a
+callable receiving one dict-able record at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+SPAN = "span"
+EVENT = "event"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace record: a point event or a completed span."""
+
+    kind: str  # SPAN or EVENT
+    name: str
+    party: str = ""
+    at: float = 0.0  # wall-clock time of emission (seconds)
+    seconds: "Optional[float]" = None  # span duration; None for events
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        record = {"kind": self.kind, "name": self.name, "party": self.party,
+                  "at": self.at}
+        if self.seconds is not None:
+            record["seconds"] = self.seconds
+        record.update(self.attrs)
+        return record
+
+
+Exporter = Callable[[TraceRecord], None]
+
+
+class InMemoryCollector:
+    """Exporter that keeps every record; the test-side trace sink."""
+
+    def __init__(self) -> None:
+        self.records: "list[TraceRecord]" = []
+
+    def __call__(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def named(self, name: str) -> "list[TraceRecord]":
+        return [r for r in self.records if r.name == name]
+
+    def spans(self) -> "list[TraceRecord]":
+        return [r for r in self.records if r.kind == SPAN]
+
+    def events(self) -> "list[TraceRecord]":
+        return [r for r in self.records if r.kind == EVENT]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class JsonLinesExporter:
+    """Exporter writing one JSON object per record to a file.
+
+    Attribute values must be JSON-serialisable (the instrumentation only
+    emits str/int/float/bool); anything else is stringified rather than
+    dropped, so a trace file never loses records to an odd attribute.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def __call__(self, record: TraceRecord) -> None:
+        line = json.dumps(record.to_dict(), default=str, sort_keys=True)
+        self._handle.write(line + "\n")
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> "list[dict]":
+    """Load a JSON-lines trace file back into record dicts."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class Tracer:
+    """Fan-out point for trace records.
+
+    ``wall_clock`` stamps records (evidence-style wall time);
+    ``perf_clock`` measures span durations (monotonic, high resolution).
+    Both are injectable so tests can assert on deterministic output.
+    """
+
+    def __init__(self, exporters: "list[Exporter] | None" = None,
+                 wall_clock: "Callable[[], float]" = time.time,
+                 perf_clock: "Callable[[], float]" = time.perf_counter) -> None:
+        self.exporters: "list[Exporter]" = list(exporters or [])
+        self._wall = wall_clock
+        self._perf = perf_clock
+
+    def add_exporter(self, exporter: Exporter) -> None:
+        self.exporters.append(exporter)
+
+    def event(self, name: str, party: str = "", **attrs) -> TraceRecord:
+        record = TraceRecord(kind=EVENT, name=name, party=party,
+                             at=self._wall(), attrs=attrs)
+        self._export(record)
+        return record
+
+    def span_end(self, name: str, seconds: float, party: str = "",
+                 **attrs) -> TraceRecord:
+        """Record an already-measured span (the instrumentation hot path)."""
+        record = TraceRecord(kind=SPAN, name=name, party=party,
+                             at=self._wall(), seconds=seconds, attrs=attrs)
+        self._export(record)
+        return record
+
+    @contextmanager
+    def span(self, name: str, party: str = "", **attrs) -> "Iterator[dict]":
+        """Measure a code block; the yielded dict adds late attributes."""
+        extra: dict = {}
+        started = self._perf()
+        try:
+            yield extra
+        finally:
+            seconds = self._perf() - started
+            merged = dict(attrs)
+            merged.update(extra)
+            self.span_end(name, seconds, party=party, **merged)
+
+    def _export(self, record: TraceRecord) -> None:
+        for exporter in self.exporters:
+            exporter(record)

@@ -8,6 +8,7 @@ from typing import Callable, Optional
 from repro.crypto.prng import RandomSource, SystemRandomSource
 from repro.crypto.signature import Signer, Verifier
 from repro.crypto.timestamp import TimestampService
+from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation
 from repro.storage.checkpoint import CheckpointStore
 from repro.storage.journal import MessageJournal
 from repro.storage.log import NonRepudiationLog
@@ -37,12 +38,13 @@ class PartyContext:
     evidence: NonRepudiationLog = None  # type: ignore[assignment]
     journal: MessageJournal = None  # type: ignore[assignment]
     checkpoints: CheckpointStore = None  # type: ignore[assignment]
+    obs: Instrumentation = NULL_INSTRUMENTATION
 
     def __post_init__(self) -> None:
         if self.evidence is None:
-            self.evidence = NonRepudiationLog(self.party_id)
+            self.evidence = NonRepudiationLog(self.party_id, obs=self.obs)
         if self.journal is None:
-            self.journal = MessageJournal(self.party_id)
+            self.journal = MessageJournal(self.party_id, obs=self.obs)
         if self.checkpoints is None:
             self.checkpoints = CheckpointStore()
         if self.tsa is not None and self.tsa_verifier is None:

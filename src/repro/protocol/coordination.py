@@ -23,11 +23,20 @@ recovery and logged as non-repudiation evidence before it is acted on.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.crypto.hashing import hash_value
 from repro.errors import ConcurrencyError, ProtocolError
+from repro.obs.hooks import (
+    PHASE_M1,
+    PHASE_M2,
+    PHASE_M3,
+    RECEIVED,
+    SENT,
+    approx_size,
+)
 from repro.protocol.context import PartyContext
 from repro.protocol.engine_base import EngineBase
 from repro.protocol.events import (
@@ -234,6 +243,9 @@ class StateCoordinationEngine(EngineBase):
         self._runs[run_id] = run
         self._active_run_id = run_id
         self._note_proposal_seen(new_sid)
+        if self.ctx.obs.enabled:
+            self.ctx.obs.run_started(self.party_id, self.object_name,
+                                     run_id, ROLE_PROPOSER, mode)
 
         # Invariant 2: the proposer's current state is the proposed state.
         self.current_state = new_state
@@ -259,6 +271,8 @@ class StateCoordinationEngine(EngineBase):
         for recipient in recipients:
             self._journal_sent(run_id, recipient, message)
             output.send(recipient, message)
+        self._obs_message(run_id, PHASE_M1, SENT, message,
+                          count=len(recipients))
 
         if not recipients:
             # Singleton group: trivially unanimous.
@@ -269,8 +283,25 @@ class StateCoordinationEngine(EngineBase):
     # message dispatch
     # ------------------------------------------------------------------
 
+    _PHASE_BY_TYPE = {PROPOSE: PHASE_M1, RESPOND: PHASE_M2, COMMIT: PHASE_M3}
+
     def handle(self, sender: str, message: dict) -> Output:
         """Process one inbound protocol message."""
+        obs = self.ctx.obs
+        if not obs.enabled:
+            return self._dispatch(sender, message)
+        phase = self._PHASE_BY_TYPE.get(message.get("msg_type"))
+        if phase is not None:
+            obs.protocol_message(self.party_id, self.object_name, "",
+                                 phase, RECEIVED, approx_size(message))
+        started = time.perf_counter()
+        output = self._dispatch(sender, message)
+        if phase is not None:
+            obs.phase_handled(self.party_id, self.object_name, phase,
+                              time.perf_counter() - started)
+        return output
+
+    def _dispatch(self, sender: str, message: dict) -> Output:
         msg_type = message.get("msg_type")
         if msg_type == PROPOSE:
             return self._on_propose(sender, message)
@@ -362,6 +393,13 @@ class StateCoordinationEngine(EngineBase):
         )
         self._runs[run_id] = run
         self._note_proposal_seen(new_sid)
+        if self.ctx.obs.enabled:
+            self.ctx.obs.run_started(self.party_id, self.object_name,
+                                     run_id, ROLE_RESPONDER, mode)
+            self.ctx.obs.validation_decision(
+                self.party_id, self.object_name, run_id,
+                decision.accepted, list(decision.diagnostics),
+            )
         if decision.accepted:
             # An accepted proposal must settle before this replica takes
             # part in another run, or concurrent installs could diverge.
@@ -373,12 +411,15 @@ class StateCoordinationEngine(EngineBase):
         reply = respond_message(response)
         self._journal_sent(run_id, proposer, reply)
         output.send(proposer, reply)
+        self._obs_message(run_id, PHASE_M2, SENT, reply)
         return output
 
     def _replay_responder_messages(self, run: RunState, output: Output) -> Output:
         """Idempotent re-handling of a duplicated / recovered ``m1``."""
         if run.role == ROLE_RESPONDER and run.own_response is not None:
-            output.send(run.proposer, respond_message(run.own_response))
+            reply = respond_message(run.own_response)
+            output.send(run.proposer, reply)
+            self._obs_message(run.run_id, PHASE_M2, SENT, reply)
         return output
 
     def _evaluate_proposal(self, proposer: str, payload: dict, new_sid: StateId,
@@ -501,6 +542,7 @@ class StateCoordinationEngine(EngineBase):
             # (e.g. it crashed and recovered) — re-send it.
             if run.commit is not None:
                 output.send(responder, run.commit)
+                self._obs_message(run_id, PHASE_M3, SENT, run.commit)
             return output
         if responder not in run.recipients:
             self._misbehaviour(output, responder, "unsolicited-response",
@@ -603,6 +645,8 @@ class StateCoordinationEngine(EngineBase):
         for recipient in run.recipients:
             self._journal_sent(run.run_id, recipient, commit)
             output.send(recipient, commit)
+        self._obs_message(run.run_id, PHASE_M3, SENT, commit,
+                          count=len(run.recipients))
         self._log_evidence(
             "commit-sent",
             {"run_id": run.run_id, "valid": unanimous, "diagnostics": diagnostics},
@@ -765,6 +809,11 @@ class StateCoordinationEngine(EngineBase):
         run.diagnostics = diagnostics
         if self._active_run_id == run.run_id:
             self._active_run_id = None
+        if self.ctx.obs.enabled:
+            self.ctx.obs.run_settled(
+                self.party_id, self.object_name, run.run_id, run.role,
+                run.outcome, self.ctx.clock.now() - run.started_at,
+            )
 
         if responses is None:
             responses = [run.responses[p] for p in run.recipients
@@ -856,10 +905,15 @@ class StateCoordinationEngine(EngineBase):
                 continue
             if run.role == ROLE_PROPOSER:
                 message = propose_message(run.proposal, run.body)
-                for recipient in run.waiting_on():
+                waiting = run.waiting_on()
+                for recipient in waiting:
                     output.send(recipient, message)
+                self._obs_message(run.run_id, PHASE_M1, SENT, message,
+                                  count=len(waiting))
             elif run.own_response is not None:
-                output.send(run.proposer, respond_message(run.own_response))
+                reply = respond_message(run.own_response)
+                output.send(run.proposer, reply)
+                self._obs_message(run.run_id, PHASE_M2, SENT, reply)
         return output
 
     def recover_runs(self) -> Output:
@@ -977,8 +1031,11 @@ class StateCoordinationEngine(EngineBase):
             self._complete_as_proposer(run, output)
         else:
             message = propose_message(proposal, run.body)
-            for recipient in run.waiting_on():
+            waiting = run.waiting_on()
+            for recipient in waiting:
                 output.send(recipient, message)
+            self._obs_message(run_id, PHASE_M1, SENT, message,
+                              count=len(waiting))
 
     def abort_active_run(self, reason: str) -> Output:
         """Locally abandon a blocked run we proposed (fail-safe abort).

@@ -10,6 +10,7 @@ from repro.errors import (
     SignatureError,
     TimestampError,
 )
+from repro.obs.hooks import approx_size
 from repro.protocol.context import PartyContext
 from repro.protocol.events import MisbehaviourEvent, Output
 from repro.protocol.messages import SignedPart, make_signed, verify_signed
@@ -107,6 +108,21 @@ class EngineBase:
     def _close_journal(self, run_id: str, outcome: str) -> None:
         if self.ctx.journal.is_open(run_id):
             self.ctx.journal.close_run(run_id, outcome)
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+
+    def _obs_message(self, run_id: str, phase: str, direction: str,
+                     message: dict, count: int = 1) -> None:
+        """Count *count* copies of one protocol message, sized once."""
+        obs = self.ctx.obs
+        if not obs.enabled:
+            return
+        size = approx_size(message)
+        for _ in range(count):
+            obs.protocol_message(self.ctx.party_id, self.object_name,
+                                 run_id, phase, direction, size)
 
     # ------------------------------------------------------------------
     # helpers

@@ -10,8 +10,10 @@ participation.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, Optional
 
+from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation, approx_size
 from repro.storage.backends import MemoryRecordStore, RecordStore
 
 SENT = "sent"
@@ -21,9 +23,11 @@ RECEIVED = "received"
 class MessageJournal:
     """Durable per-run message history for one party."""
 
-    def __init__(self, owner: str, store: "RecordStore | None" = None) -> None:
+    def __init__(self, owner: str, store: "RecordStore | None" = None,
+                 obs: "Instrumentation | None" = None) -> None:
         self.owner = owner
         self._store = store if store is not None else MemoryRecordStore()
+        self._obs = obs if obs is not None else NULL_INSTRUMENTATION
         self._open_runs: "set[str]" = set()
         self._closed_runs: "set[str]" = set()
         for record in self._store.scan():
@@ -49,13 +53,23 @@ class MessageJournal:
             "peer": peer,
             "message": message,
         }
-        self._store.append(record)
+        if self._obs.enabled:
+            started = time.perf_counter()
+            self._store.append(record)
+            self._obs.journal_append(
+                self.owner, run_id, direction, approx_size(record),
+                time.perf_counter() - started,
+            )
+        else:
+            self._store.append(record)
         self._apply(record)
 
     def close_run(self, run_id: str, outcome: str) -> None:
         """Mark a protocol run finished (valid / invalid / aborted)."""
         record = {"event": "close", "run_id": run_id, "outcome": outcome}
         self._store.append(record)
+        if self._obs.enabled:
+            self._obs.journal_closed(self.owner, run_id, outcome)
         self._apply(record)
 
     def open_runs(self) -> "set[str]":

@@ -10,11 +10,13 @@ it to an arbiter.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 from repro.crypto.hashing import hash_value
 from repro.errors import LogCorruptionError
+from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation, approx_size
 from repro.storage.backends import MemoryRecordStore, RecordStore
 
 GENESIS_HASH = b"\x00" * 32
@@ -57,9 +59,11 @@ def _chain_hash(index: int, prev_hash: bytes, kind: str, payload: dict) -> bytes
 class NonRepudiationLog:
     """Hash-chained append-only evidence log for one party."""
 
-    def __init__(self, owner: str, store: "RecordStore | None" = None) -> None:
+    def __init__(self, owner: str, store: "RecordStore | None" = None,
+                 obs: "Instrumentation | None" = None) -> None:
         self.owner = owner
         self._store = store if store is not None else MemoryRecordStore()
+        self._obs = obs if obs is not None else NULL_INSTRUMENTATION
         self._head = GENESIS_HASH
         self._count = 0
         self._replay_existing()
@@ -94,7 +98,16 @@ class NonRepudiationLog:
             kind=kind,
             payload=payload,
         )
-        self._store.append(entry.to_dict())
+        record = entry.to_dict()
+        if self._obs.enabled:
+            started = time.perf_counter()
+            self._store.append(record)
+            self._obs.evidence_append(
+                self.owner, kind, approx_size(record),
+                time.perf_counter() - started,
+            )
+        else:
+            self._store.append(record)
         self._head = entry_hash
         self._count += 1
         return entry

@@ -21,6 +21,11 @@ import secrets
 from typing import Callable, Optional
 
 from repro.errors import DeliveryError
+from repro.obs.hooks import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    approx_size,
+)
 from repro.transport.base import Envelope, Network, TimerHandle
 
 DATA = "data"
@@ -34,13 +39,15 @@ class ReliableEndpoint:
                  retransmit_interval: float = 0.05,
                  max_retries: "int | None" = None,
                  backoff_factor: float = 1.5,
-                 max_interval: float = 2.0) -> None:
+                 max_interval: float = 2.0,
+                 obs: "Instrumentation | None" = None) -> None:
         self.party_id = party_id
         self._network = network
         self._interval = retransmit_interval
         self._max_retries = max_retries
         self._backoff = backoff_factor
         self._max_interval = max_interval
+        self._obs = obs if obs is not None else NULL_INSTRUMENTATION
         self._handler: "Optional[Callable[[str, dict], None]]" = None
         self._failure_handler: "Optional[Callable[[str, dict, DeliveryError], None]]" = None
         # The instance tag keeps message ids unique across process
@@ -52,6 +59,8 @@ class ReliableEndpoint:
         self._delivered_ids: "set[str]" = set()
         self._stopped = False
         self.retransmissions = 0
+        self.duplicates_suppressed = 0
+        self.acks_received = 0
         network.register(party_id, self._on_raw_message)
 
     def on_message(self, handler: "Callable[[str, dict], None]") -> None:
@@ -78,6 +87,10 @@ class ReliableEndpoint:
         self._outstanding[msg_id] = pending
         self._network.send(envelope)
         self._arm_retransmit(pending)
+        if self._obs.enabled:
+            self._obs.message_sent(self.party_id, recipient,
+                                   approx_size(envelope.to_dict()))
+            self._obs.queue_depth(self.party_id, len(self._outstanding))
         return msg_id
 
     def outstanding_count(self) -> int:
@@ -110,6 +123,12 @@ class ReliableEndpoint:
             return
         if self._max_retries is not None and pending.attempts >= self._max_retries:
             del self._outstanding[msg_id]
+            if self._obs.enabled:
+                self._obs.retry_exhausted(
+                    self.party_id, pending.envelope.recipient, msg_id,
+                    pending.attempts,
+                )
+                self._obs.queue_depth(self.party_id, len(self._outstanding))
             error = DeliveryError(
                 f"{self.party_id}: gave up sending {msg_id} to "
                 f"{pending.envelope.recipient} after {pending.attempts} retries"
@@ -121,6 +140,11 @@ class ReliableEndpoint:
             return
         pending.attempts += 1
         self.retransmissions += 1
+        if self._obs.enabled:
+            self._obs.retransmission(
+                self.party_id, pending.envelope.recipient, msg_id,
+                pending.attempts,
+            )
         self._network.send(pending.envelope)
         pending.interval = min(pending.interval * self._backoff, self._max_interval)
         self._arm_retransmit(pending)
@@ -136,8 +160,14 @@ class ReliableEndpoint:
 
     def _handle_ack(self, msg_id: str) -> None:
         pending = self._outstanding.pop(msg_id, None)
-        if pending is not None and pending.timer is not None:
+        if pending is None:
+            return
+        self.acks_received += 1
+        if pending.timer is not None:
             pending.timer.cancel()
+        if self._obs.enabled:
+            self._obs.ack_received(self.party_id, msg_id)
+            self._obs.queue_depth(self.party_id, len(self._outstanding))
 
     def _handle_data(self, envelope: Envelope) -> None:
         # Always (re-)acknowledge: the sender may have missed a prior ack.
@@ -148,6 +178,10 @@ class ReliableEndpoint:
         )
         self._network.send(ack)
         if envelope.msg_id in self._delivered_ids:
+            self.duplicates_suppressed += 1
+            if self._obs.enabled:
+                self._obs.duplicate_suppressed(self.party_id, envelope.sender,
+                                               envelope.msg_id)
             return
         self._delivered_ids.add(envelope.msg_id)
         if self._handler is not None:

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import socket
 import threading
-import time
 from typing import Callable, Optional
 
 from repro.errors import TransportError
+from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation
 from repro.transport.base import Envelope, MessageHandler, Network, TimerHandle
+from repro.util.clocks import MonotonicClock
 from repro.util.encoding import canonical_bytes, from_canonical_bytes
 
 _MAX_LINE = 16 * 1024 * 1024
@@ -31,12 +32,17 @@ class TcpNetwork(Network):
     ``add_remote_party``.
     """
 
-    def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 2.0) -> None:
+    def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 2.0,
+                 obs: "Instrumentation | None" = None) -> None:
         self._host = host
         self._connect_timeout = connect_timeout
+        self._obs = obs if obs is not None else NULL_INSTRUMENTATION
         self._directory: "dict[str, tuple[str, int]]" = {}
         self._listeners: "dict[str, _Listener]" = {}
         self._lock = threading.Lock()
+        # Retransmission pacing and timeouts are interval arithmetic, so
+        # the network clock must not step backwards under NTP corrections.
+        self._clock = MonotonicClock()
         self._closed = False
 
     def add_remote_party(self, party_id: str, host: str, port: int) -> None:
@@ -74,7 +80,13 @@ class TcpNetwork(Network):
             with socket.create_connection((host, port), timeout=self._connect_timeout) as conn:
                 conn.sendall(line)
         except OSError:
+            if self._obs.enabled:
+                self._obs.raw_send(envelope.sender, envelope.recipient,
+                                   len(line), ok=False)
             return  # best-effort: the reliable layer retransmits
+        if self._obs.enabled:
+            self._obs.raw_send(envelope.sender, envelope.recipient,
+                               len(line), ok=True)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         timer = threading.Timer(delay, callback)
@@ -83,7 +95,7 @@ class TcpNetwork(Network):
         return TimerHandle(timer.cancel)
 
     def now(self) -> float:
-        return time.time()
+        return self._clock.now()
 
     def close(self) -> None:
         with self._lock:

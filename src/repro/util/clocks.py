@@ -21,10 +21,29 @@ class Clock:
 
 
 class SystemClock(Clock):
-    """Wall-clock time (``time.time``)."""
+    """Wall-clock time (``time.time``).
+
+    Use only where real-world timestamps are the point — evidence
+    records and time-stamp tokens.  Interval measurement (timeouts,
+    retransmission pacing, latency) must use :class:`MonotonicClock`:
+    wall clocks step under NTP corrections, which would stall or storm
+    any timer arithmetic built on them.
+    """
 
     def now(self) -> float:
         return time.time()
+
+
+class MonotonicClock(Clock):
+    """Steadily increasing time (``time.monotonic``), immune to wall steps.
+
+    The zero point is arbitrary, so readings are only meaningful as
+    differences — exactly what retransmission timers and latency
+    measurements need.
+    """
+
+    def now(self) -> float:
+        return time.monotonic()
 
 
 class VirtualClock(Clock):

@@ -30,7 +30,10 @@ class TestMetrics:
         assert summary["count"] == 4
         assert summary["mean"] == pytest.approx(2.5)
         assert summary["min"] == 1.0 and summary["max"] == 4.0
-        assert summary["p50"] == 2.0
+        # Linear interpolation between closest ranks: the even-count
+        # median is the midpoint, not the lower sample.
+        assert summary["p50"] == pytest.approx(2.5)
+        assert summary["p99"] == pytest.approx(3.97)
         assert summary["stddev"] == pytest.approx(1.29099, abs=1e-4)
 
     def test_empty_recorder(self):
