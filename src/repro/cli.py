@@ -7,6 +7,7 @@ Usage::
     python -m repro keygen --id OrgA       # generate a signing key pair
     python -m repro simulate [options]     # run a coordination workload
     python -m repro obs-report [options]   # instrumented run + breakdown
+    python -m repro audit [options]        # evidence forensics + timeline
     python -m repro demo NAME              # run a built-in demo scenario
 
 The log commands operate on the crash-safe JSON-lines files produced by
@@ -208,8 +209,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_obs_report(args: argparse.Namespace) -> int:
-    """Instrumented 3-party Tic-Tac-Toe run + per-phase breakdown report."""
+def _run_forensic_game(seed: int, latency: float, drop: float,
+                       duplicate: float, transport: str = "sim",
+                       export_dir: "str | None" = None,
+                       trace_out: "str | None" = None):
+    """Instrumented 3-party Tic-Tac-Toe run with the Figure 5 cheat.
+
+    Returns ``(community, objects, rejected, obs, trace_paths)``.  With
+    *export_dir* set, each party's trace records, every party's evidence
+    log and a ``keys.json`` land under that directory — the complete
+    input set for ``repro audit``.
+    """
+    import os
+
     from repro.apps.tictactoe import (
         CROSS,
         NOUGHT,
@@ -217,34 +229,64 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         TicTacToePlayer,
     )
     from repro.core.community import Community
-    from repro.core.runtime import SimRuntime
+    from repro.core.runtime import SimRuntime, ThreadedRuntime
     from repro.errors import ValidationFailed
-    from repro.obs import JsonLinesExporter, RecordingInstrumentation, Tracer
+    from repro.obs import PartyFilesExporter, RecordingInstrumentation, Tracer
     from repro.transport.inmemory import LinkProfile
+    from repro.transport.tcp import TcpNetwork
+
+    from repro.obs import JsonLinesExporter
 
     tracer = Tracer()
-    exporter = None
-    if args.trace_out:
-        exporter = JsonLinesExporter(args.trace_out)
-        tracer.add_exporter(exporter)
+    party_exporter = None
+    file_exporter = None
+    storage_dir = None
+    if export_dir:
+        os.makedirs(export_dir, exist_ok=True)
+        party_exporter = PartyFilesExporter(os.path.join(export_dir, "traces"))
+        tracer.add_exporter(party_exporter)
+        storage_dir = os.path.join(export_dir, "evidence")
+    if trace_out:
+        file_exporter = JsonLinesExporter(trace_out)
+        tracer.add_exporter(file_exporter)
     obs = RecordingInstrumentation(tracer=tracer)
 
-    profile = LinkProfile(
-        latency=args.latency,
-        drop_probability=args.drop,
-        duplicate_probability=args.duplicate,
-    )
+    if transport == "tcp":
+        runtime = ThreadedRuntime(network=TcpNetwork(
+            obs=obs, drop_probability=drop, drop_seed=seed,
+        ))
+        retransmit_interval = 0.03
+    else:
+        profile = LinkProfile(
+            latency=latency,
+            drop_probability=drop,
+            duplicate_probability=duplicate,
+        )
+        runtime = SimRuntime(seed=seed, profile=profile)
+        retransmit_interval = 0.05
     # Two players plus a witness organisation sharing the game object —
     # the smallest community where m2/m3 fan-out is visible (n=3).
     names = ["Cross", "Nought", "Witness"]
     community = Community(
-        names, runtime=SimRuntime(seed=args.seed, profile=profile), obs=obs,
+        names, runtime=runtime, obs=obs, storage_dir=storage_dir,
+        retransmit_interval=retransmit_interval,
     )
     players = {"Cross": CROSS, "Nought": NOUGHT}
     objects = {name: TicTacToeObject(players=players) for name in names}
     controllers = community.found_object("game", objects)
     cross = TicTacToePlayer(controllers["Cross"], CROSS)
     nought = TicTacToePlayer(controllers["Nought"], NOUGHT)
+
+    def _quiescent() -> bool:
+        engines = [node.party.session("game").state
+                   for node in community.nodes.values()]
+        if any(engine.busy for engine in engines):
+            return False
+        # Idle is not enough: a replica that missed the last m3 (still in
+        # retransmission) is idle *and* stale, and the next proposal built
+        # on it would be vetoed.  Require identical agreed state too.
+        reference = engines[0].agreed_state
+        return all(engine.agreed_state == reference for engine in engines)
 
     rejected = 0
     moves = [(cross, 4, None), (nought, 0, None), (cross, 5, None),
@@ -255,23 +297,114 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
             player.save_move(cell, mark)
         except ValidationFailed:
             rejected += 1
-    community.settle()
+        if transport == "tcp":
+            # Real time: the next proposer must not race the previous
+            # run's m3 across the sockets, or it proposes from a stale
+            # board and honest moves are vetoed.
+            community.runtime.wait_until(_quiescent, 10.0)
+    community.settle(0.3 if transport == "tcp" else None)
     community.close()
-    if exporter is not None:
-        exporter.close()
+
+    trace_paths: "dict[str, str]" = {}
+    if party_exporter is not None:
+        trace_paths = party_exporter.paths()
+        party_exporter.close()
+    if file_exporter is not None:
+        file_exporter.close()
+    if export_dir:
+        keys_path = os.path.join(export_dir, "keys.json")
+        with open(keys_path, "w", encoding="utf-8") as handle:
+            json.dump(community.public_keys(), handle, indent=2)
+    return community, objects, rejected, obs, trace_paths
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Instrumented 3-party Tic-Tac-Toe run + per-phase breakdown report."""
+    community, objects, rejected, obs, trace_paths = _run_forensic_game(
+        seed=args.seed, latency=args.latency, drop=args.drop,
+        duplicate=args.duplicate, transport=args.transport,
+        export_dir=args.export_dir, trace_out=args.trace_out,
+    )
 
     game = objects["Witness"]
     board = game.board
     print(f"3-party Tic-Tac-Toe over lossy links "
-          f"(seed={args.seed} drop={args.drop} duplicate={args.duplicate})")
+          f"(transport={args.transport} seed={args.seed} "
+          f"drop={args.drop} duplicate={args.duplicate})")
     for row in range(3):
         print("  " + " ".join(cell or "." for cell in board[row * 3:row * 3 + 3]))
     print(f"  winner: {game.winner or '(none)'}  "
           f"vetoed moves: {rejected}")
     if args.trace_out:
         print(f"  trace records written to {args.trace_out}")
+    if args.export_dir:
+        print(f"  forensic artefacts (traces, evidence, keys.json) "
+              f"under {args.export_dir}")
+        for party, path in sorted(trace_paths.items()):
+            print(f"    trace[{party}]: {path}")
     print()
     print(obs.report())
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Forensic audit: evidence re-verification + merged causal timeline."""
+    from repro.crypto.rsa import RsaPublicKey
+    from repro.crypto.signature import RsaVerifier
+    from repro.errors import SignatureError
+    from repro.obs.audit import audit_evidence, load_evidence_log
+    from repro.obs.merge import merge_trace_files, render_timeline
+
+    with open(args.keys, encoding="utf-8") as handle:
+        key_data = json.load(handle)
+    verifiers = {
+        party: RsaVerifier(RsaPublicKey.from_dict(key))
+        for party, key in key_data.get("parties", {}).items()
+    }
+    tsa_verifier = None
+    if key_data.get("tsa"):
+        tsa_verifier = RsaVerifier(RsaPublicKey.from_dict(key_data["tsa"]))
+
+    def resolver(party_id: str):
+        verifier = verifiers.get(party_id)
+        if verifier is None:
+            raise SignatureError(f"no public key on file for {party_id!r}")
+        return verifier
+
+    logs = {}
+    for spec in args.log:
+        party, sep, path = spec.partition("=")
+        if not sep or not party or not path:
+            print(f"error: --log expects PARTY=PATH, got {spec!r}")
+            return 2
+        logs[party] = load_evidence_log(party, path)
+
+    merged = None
+    if args.trace:
+        merged = merge_trace_files(args.trace)
+        if args.merged_out:
+            with open(args.merged_out, "w", encoding="utf-8") as handle:
+                for record in merged.events:
+                    handle.write(json.dumps(record, sort_keys=True,
+                                            default=str) + "\n")
+            print(f"merged timeline ({len(merged.events)} events) "
+                  f"written to {args.merged_out}")
+        if args.timeline:
+            print(render_timeline(merged, max_events=args.timeline_events))
+            print()
+
+    report = audit_evidence(logs, resolver, tsa_verifier=tsa_verifier,
+                            merged=merged)
+    print(report.render())
+
+    if args.expect_culprit:
+        culprits = report.culprits()
+        if args.expect_culprit in culprits:
+            print(f"\nexpected culprit {args.expect_culprit!r} convicted")
+            return 0
+        print(f"\nFAILED: expected culprit {args.expect_culprit!r} "
+              f"not among {culprits}")
+        return 1
     return 0
 
 
@@ -381,7 +514,44 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--duplicate", type=float, default=0.05)
     obs_report.add_argument("--trace-out", default=None,
                             help="also write trace records to this JSONL file")
+    obs_report.add_argument("--transport", choices=["sim", "tcp"],
+                            default="sim",
+                            help="sim: deterministic virtual time; "
+                                 "tcp: real sockets with injected loss")
+    obs_report.add_argument("--export-dir", default=None,
+                            help="write per-party traces, evidence logs and "
+                                 "keys.json under this directory "
+                                 "(the input set for `repro audit`)")
     obs_report.set_defaults(func=_cmd_obs_report)
+
+    audit = sub.add_parser(
+        "audit",
+        help="forensic audit: re-verify evidence, merge traces, "
+             "name misbehaving parties",
+    )
+    audit.add_argument(
+        "--keys", required=True,
+        help='JSON file: {"parties": {id: public-key}, "tsa": public-key}',
+    )
+    audit.add_argument(
+        "--log", action="append", default=[], metavar="PARTY=PATH",
+        help="one party's evidence log (repeatable)",
+    )
+    audit.add_argument(
+        "--trace", action="append", default=[], metavar="PATH",
+        help="a party's JSONL trace export (repeatable)",
+    )
+    audit.add_argument("--merged-out", default=None,
+                       help="write the merged causal timeline to this "
+                            "JSONL file")
+    audit.add_argument("--timeline", action="store_true",
+                       help="print the merged causal timeline before "
+                            "the audit report")
+    audit.add_argument("--timeline-events", type=int, default=None,
+                       help="cap events shown per run in the timeline")
+    audit.add_argument("--expect-culprit", default=None,
+                       help="exit non-zero unless this party is convicted")
+    audit.set_defaults(func=_cmd_audit)
 
     demo = sub.add_parser("demo", help="run a built-in demo scenario")
     demo.add_argument("name", choices=sorted(_DEMOS))

@@ -171,6 +171,18 @@ class Community:
             raise ConfigurationError(f"unknown party {party_id!r}")
         return certificate.verifier()
 
+    def public_keys(self) -> dict:
+        """All public keys in the ``verify-bundle``/``audit`` keys format.
+
+        Written to a ``keys.json`` next to exported evidence, this is
+        everything an offline auditor needs to re-verify signatures.
+        """
+        return {
+            "parties": {name: dict(cert.public_key)
+                        for name, cert in self.certificates.items()},
+            "tsa": self.tsa.public_key,
+        }
+
     # ------------------------------------------------------------------
     # object founding
     # ------------------------------------------------------------------

@@ -68,6 +68,11 @@ class TimestampService:
         return self._keypair.verifier()
 
     @property
+    def public_key(self) -> dict:
+        """The service's public key, for offline token verification."""
+        return self._keypair.public_key.to_dict()
+
+    @property
     def issued_count(self) -> int:
         """Number of tokens issued; used by benchmarks as a cost counter."""
         return self._issued

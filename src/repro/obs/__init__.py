@@ -1,15 +1,19 @@
 """``repro.obs`` — structured tracing and metrics for the middleware.
 
-The subsystem has three parts:
+The subsystem has five parts:
 
 * :mod:`repro.obs.metrics` — counters, gauges and streaming histograms
   in a :class:`MetricsRegistry` (the one statistics implementation);
 * :mod:`repro.obs.trace` — a :class:`Tracer` emitting typed span/event
-  records to in-memory collectors or a JSON-lines file;
+  records to in-memory collectors or JSON-lines files, plus the
+  cross-party :class:`TraceContext` / Lamport-clock machinery;
 * :mod:`repro.obs.hooks` — the :class:`Instrumentation` hook interface
   threaded through protocol, transport, crypto and storage, with
   :data:`NULL_INSTRUMENTATION` as the zero-overhead default and
-  :class:`RecordingInstrumentation` as the recording implementation.
+  :class:`RecordingInstrumentation` as the recording implementation;
+* :mod:`repro.obs.merge` — offline merging of per-party trace files
+  into one Lamport-ordered causal timeline with anomaly detection;
+* :mod:`repro.obs.audit` — evidence forensics behind ``repro audit``.
 
 See ``docs/OBSERVABILITY.md`` for the hook and metric catalogue.
 """
@@ -21,6 +25,14 @@ from repro.obs.hooks import (
     PHASE_M3,
     Instrumentation,
     approx_size,
+)
+from repro.obs.merge import (
+    Anomaly,
+    MergedTrace,
+    RunTrace,
+    merge_trace_files,
+    merge_traces,
+    render_timeline,
 )
 from repro.obs.metrics import (
     Counter,
@@ -35,12 +47,33 @@ from repro.obs.report import format_table, render_report
 from repro.obs.trace import (
     InMemoryCollector,
     JsonLinesExporter,
+    LamportClock,
+    PartyFilesExporter,
+    PartyTraceContext,
+    TraceContext,
     TraceRecord,
     Tracer,
     read_jsonl,
+    span_id_for,
+    trace_id_for_run,
 )
 
 __all__ = [
+    "Anomaly",
+    "AuditReport",
+    "LamportClock",
+    "MergedTrace",
+    "PartyFilesExporter",
+    "PartyTraceContext",
+    "RunFinding",
+    "RunTrace",
+    "TraceContext",
+    "audit_evidence",
+    "merge_trace_files",
+    "merge_traces",
+    "render_timeline",
+    "span_id_for",
+    "trace_id_for_run",
     "NULL_INSTRUMENTATION",
     "PHASE_M1",
     "PHASE_M2",
@@ -62,3 +95,16 @@ __all__ = [
     "Tracer",
     "read_jsonl",
 ]
+
+_AUDIT_EXPORTS = ("AuditReport", "RunFinding", "audit_evidence")
+
+
+def __getattr__(name: str):
+    # The audit module pulls in crypto + protocol, which themselves hook
+    # back into repro.obs at import time; loading it lazily keeps this
+    # package importable from anywhere in that graph.
+    if name in _AUDIT_EXPORTS:
+        from repro.obs import audit
+
+        return getattr(audit, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

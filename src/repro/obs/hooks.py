@@ -70,6 +70,28 @@ class Instrumentation:
                             accepted: bool, diagnostics: "list[str]") -> None:
         """A responder decided on a proposal (systematic + app checks)."""
 
+    # -- causal tracing (engine_base.py / coordination.py) -----------------
+
+    def causal_message(self, party: str, object_name: str, run_id: str,
+                       phase: str, direction: str, peer: str,
+                       trace_id: str, span_id: str, parent_span_id: str,
+                       lamport: int) -> None:
+        """One protocol message with its cross-party causal context.
+
+        Fired alongside :meth:`protocol_message` for m1/m2/m3 traffic;
+        *parent_span_id* links a receive to the send that caused it.
+        """
+
+    def causal_decision(self, party: str, object_name: str, run_id: str,
+                        trace_id: str, lamport: int, accepted: bool,
+                        diagnostics: "list[str]") -> None:
+        """A validation decision placed on the causal timeline."""
+
+    def causal_outcome(self, party: str, object_name: str, run_id: str,
+                       trace_id: str, lamport: int, role: str,
+                       outcome: str) -> None:
+        """A run settlement placed on the causal timeline."""
+
     # -- transport (reliable.py / tcp.py) ----------------------------------
 
     def message_sent(self, party: str, recipient: str, size: int) -> None:
@@ -97,6 +119,14 @@ class Instrumentation:
                  ok: bool) -> None:
         """A raw network transmission attempt (e.g. one TCP connection)."""
 
+    def send_traced(self, party: str, recipient: str, msg_id: str,
+                    trace_id: str) -> None:
+        """The reliable layer bound transport *msg_id* to a trace.
+
+        Lets offline analysis attribute retransmission storms and
+        duplicate floods (which only know message ids) to protocol runs.
+        """
+
     # -- crypto (rsa.py / signature.py) ------------------------------------
 
     def sign_timing(self, party: str, scheme: str, size: int,
@@ -123,6 +153,15 @@ class Instrumentation:
     def evidence_append(self, party: str, kind: str, size: int,
                         seconds: float) -> None:
         """One entry was appended to the non-repudiation log."""
+
+    # -- dispute resolution (dispute.py) -----------------------------------
+
+    def evidence_submitted(self, party: str, intact: bool) -> None:
+        """An arbiter accepted one party's evidence log submission."""
+
+    def claim_checked(self, claim: str, outcome: str,
+                      culprits: "list[str]", seconds: float) -> None:
+        """An arbiter ruled on one claim (audits are measurable too)."""
 
 
 #: Shared default instance: every layer's "observability off" value.

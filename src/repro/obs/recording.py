@@ -67,6 +67,29 @@ class RecordingInstrumentation(Instrumentation):
                           accepted=accepted,
                           diagnostics=len(diagnostics))
 
+    # -- causal tracing ----------------------------------------------------
+
+    def causal_message(self, party, object_name, run_id, phase, direction,
+                       peer, trace_id, span_id, parent_span_id, lamport):
+        self.registry.counter("trace.causal.messages").inc()
+        self.tracer.event("causal.message", party=party, object=object_name,
+                          run_id=run_id, phase=phase, direction=direction,
+                          peer=peer, trace_id=trace_id, span_id=span_id,
+                          parent_span_id=parent_span_id, lamport=lamport)
+
+    def causal_decision(self, party, object_name, run_id, trace_id, lamport,
+                        accepted, diagnostics):
+        self.tracer.event("causal.decision", party=party, object=object_name,
+                          run_id=run_id, trace_id=trace_id, lamport=lamport,
+                          accepted=accepted,
+                          diagnostics="; ".join(diagnostics))
+
+    def causal_outcome(self, party, object_name, run_id, trace_id, lamport,
+                       role, outcome):
+        self.tracer.event("causal.outcome", party=party, object=object_name,
+                          run_id=run_id, trace_id=trace_id, lamport=lamport,
+                          role=role, outcome=outcome)
+
     # -- transport ---------------------------------------------------------
 
     def message_sent(self, party, recipient, size):
@@ -75,6 +98,8 @@ class RecordingInstrumentation(Instrumentation):
 
     def retransmission(self, party, recipient, msg_id, attempt):
         self.registry.counter("transport.retransmissions").inc()
+        self.tracer.event("transport.retransmission", party=party,
+                          peer=recipient, msg_id=msg_id, attempt=attempt)
 
     def retry_exhausted(self, party, recipient, msg_id, attempts):
         self.registry.counter("transport.retry_exhausted").inc()
@@ -84,6 +109,8 @@ class RecordingInstrumentation(Instrumentation):
 
     def duplicate_suppressed(self, party, sender, msg_id):
         self.registry.counter("transport.duplicates_suppressed").inc()
+        self.tracer.event("transport.duplicate", party=party,
+                          peer=sender, msg_id=msg_id)
 
     def ack_received(self, party, msg_id):
         self.registry.counter("transport.acks_received").inc()
@@ -96,6 +123,10 @@ class RecordingInstrumentation(Instrumentation):
         self.registry.counter("transport.raw.bytes_sent").inc(size)
         if not ok:
             self.registry.counter("transport.raw.send_errors").inc()
+
+    def send_traced(self, party, recipient, msg_id, trace_id):
+        self.tracer.event("transport.send", party=party, peer=recipient,
+                          msg_id=msg_id, trace_id=trace_id)
 
     # -- crypto ------------------------------------------------------------
 
@@ -128,6 +159,20 @@ class RecordingInstrumentation(Instrumentation):
         self.registry.counter("storage.evidence.appends").inc()
         self.registry.counter("storage.evidence.bytes").inc(size)
         self.registry.histogram("storage.evidence.append_seconds").observe(seconds)
+
+    # -- dispute resolution ------------------------------------------------
+
+    def evidence_submitted(self, party, intact):
+        self.registry.counter("dispute.submissions").inc()
+        if not intact:
+            self.registry.counter("dispute.submissions.corrupt").inc()
+
+    def claim_checked(self, claim, outcome, culprits, seconds):
+        self.registry.counter("dispute.claims_checked").inc()
+        self.registry.counter(f"dispute.rulings.{outcome}").inc()
+        self.registry.histogram("dispute.claim_seconds").observe(seconds)
+        self.tracer.event("dispute.ruling", claim=claim, outcome=outcome,
+                          culprits=", ".join(culprits))
 
     # -- reporting ---------------------------------------------------------
 

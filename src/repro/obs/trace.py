@@ -5,11 +5,22 @@ A :class:`Tracer` turns protocol activity into flat, timestamped records
 for assertions or streamed as JSON lines for offline analysis.  Records
 are plain data — no object graph to walk — so an exporter is just a
 callable receiving one dict-able record at a time.
+
+Cross-party causality rides on a :class:`TraceContext` — a W3C-style
+trace id (32 hex chars, derived from the protocol run id so every party
+computes the same one), a span id (16 hex chars), and a Lamport clock
+value.  The context travels in an unsigned ``trace_ctx`` field of the
+wire messages, so wall-clock skew between organisations never matters:
+merging per-party trace files (:mod:`repro.obs.merge`) orders records by
+Lamport value with the party id as the tie-break.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -17,6 +28,138 @@ from typing import Callable, Iterator, Optional
 
 SPAN = "span"
 EVENT = "event"
+
+TRACE_ID_CHARS = 32  # W3C trace-id: 16 bytes hex
+SPAN_ID_CHARS = 16  # W3C span-id: 8 bytes hex
+
+
+def trace_id_for_run(run_id: str) -> str:
+    """Derive the W3C-style trace id every party uses for one run.
+
+    Run ids are already collision-free hashes shared by all parties (each
+    derives it from the proposed state identifier), so the trace id is
+    simply its 16-byte prefix — a party that never received the carried
+    context still lands in the right trace.
+    """
+    if not run_id:
+        return ""
+    return run_id[:TRACE_ID_CHARS].ljust(TRACE_ID_CHARS, "0")
+
+
+def span_id_for(trace_id: str, party: str, lamport: int) -> str:
+    """Deterministic span id for one party's event in one trace."""
+    seed = f"span|{trace_id}|{party}|{lamport}".encode("utf-8")
+    return hashlib.sha256(seed).hexdigest()[:SPAN_ID_CHARS]
+
+
+class LamportClock:
+    """Thread-safe Lamport logical clock (one per party)."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def tick(self) -> int:
+        """Advance for a local event; returns the event's clock value."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def observe(self, other: int) -> int:
+        """Merge a received clock value; returns the receive event's value."""
+        with self._lock:
+            self._value = max(self._value, int(other)) + 1
+            return self._value
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The causal context of one protocol message.
+
+    ``span_id`` identifies the emitting event; ``parent_span_id`` (set on
+    the receiving side) points at the send event that caused it.
+    """
+
+    trace_id: str
+    span_id: str
+    lamport: int
+    parent_span_id: str = ""
+
+    def to_dict(self) -> dict:
+        data = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "lamport": self.lamport,
+        }
+        if self.parent_span_id:
+            data["parent_span_id"] = self.parent_span_id
+        return data
+
+    @staticmethod
+    def from_dict(data) -> "Optional[TraceContext]":
+        """Tolerant parse; returns None for anything malformed."""
+        if not isinstance(data, dict):
+            return None
+        try:
+            return TraceContext(
+                trace_id=str(data.get("trace_id", "")),
+                span_id=str(data.get("span_id", "")),
+                lamport=int(data.get("lamport", 0)),
+                parent_span_id=str(data.get("parent_span_id", "")),
+            )
+        except (TypeError, ValueError):
+            return None
+
+
+class PartyTraceContext:
+    """One party's causal-tracing state: its Lamport clock + id factory."""
+
+    def __init__(self, party_id: str) -> None:
+        self.party_id = party_id
+        self.clock = LamportClock()
+
+    def begin_send(self, run_id: str) -> TraceContext:
+        """Context for an outbound message (one broadcast = one event)."""
+        lamport = self.clock.tick()
+        trace_id = trace_id_for_run(run_id)
+        return TraceContext(
+            trace_id=trace_id,
+            span_id=span_id_for(trace_id, self.party_id, lamport),
+            lamport=lamport,
+        )
+
+    def receive(self, run_id: str, raw) -> TraceContext:
+        """Context for an inbound message.
+
+        Merges the carried Lamport value into the local clock; when the
+        sender attached no context (mixed deployments, older peers) the
+        trace id is re-derived from the run id so the record still joins
+        the right trace — causal edges are simply absent.
+        """
+        carried = TraceContext.from_dict(raw)
+        if carried is not None:
+            lamport = self.clock.observe(carried.lamport)
+            trace_id = carried.trace_id or trace_id_for_run(run_id)
+            parent = carried.span_id
+        else:
+            lamport = self.clock.tick()
+            trace_id = trace_id_for_run(run_id)
+            parent = ""
+        return TraceContext(
+            trace_id=trace_id,
+            span_id=span_id_for(trace_id, self.party_id, lamport),
+            lamport=lamport,
+            parent_span_id=parent,
+        )
+
+    def local_event(self, run_id: str) -> TraceContext:
+        """Context for a purely local causal event (decision, outcome)."""
+        return self.begin_send(run_id)
 
 
 @dataclass(frozen=True)
@@ -112,6 +255,10 @@ class Tracer:
     ``wall_clock`` stamps records (evidence-style wall time);
     ``perf_clock`` measures span durations (monotonic, high resolution).
     Both are injectable so tests can assert on deterministic output.
+
+    Export is serialised under a lock: TCP deployments run parties in
+    threads, and two parties flushing through one
+    :class:`JsonLinesExporter` must not interleave half-written lines.
     """
 
     def __init__(self, exporters: "list[Exporter] | None" = None,
@@ -120,9 +267,11 @@ class Tracer:
         self.exporters: "list[Exporter]" = list(exporters or [])
         self._wall = wall_clock
         self._perf = perf_clock
+        self._lock = threading.Lock()
 
     def add_exporter(self, exporter: Exporter) -> None:
-        self.exporters.append(exporter)
+        with self._lock:
+            self.exporters.append(exporter)
 
     def event(self, name: str, party: str = "", **attrs) -> TraceRecord:
         record = TraceRecord(kind=EVENT, name=name, party=party,
@@ -152,5 +301,45 @@ class Tracer:
             self.span_end(name, seconds, party=party, **merged)
 
     def _export(self, record: TraceRecord) -> None:
-        for exporter in self.exporters:
-            exporter(record)
+        with self._lock:
+            for exporter in self.exporters:
+                exporter(record)
+
+
+class PartyFilesExporter:
+    """Exporter writing each party's records to its own JSONL file.
+
+    Models the deployment reality the merge pipeline expects: every
+    organisation exports its *own* trace file, and an auditor combines
+    them offline.  Records with no party attribution (community-wide
+    events) go to ``trace-_shared.jsonl``.
+    """
+
+    def __init__(self, directory: str, prefix: str = "trace-") -> None:
+        self.directory = directory
+        self.prefix = prefix
+        os.makedirs(directory, exist_ok=True)
+        self._files: "dict[str, JsonLinesExporter]" = {}
+
+    def __call__(self, record: TraceRecord) -> None:
+        party = record.party or "_shared"
+        exporter = self._files.get(party)
+        if exporter is None:
+            path = os.path.join(self.directory, f"{self.prefix}{party}.jsonl")
+            exporter = JsonLinesExporter(path)
+            self._files[party] = exporter
+        exporter(record)
+
+    def paths(self) -> "dict[str, str]":
+        return {party: exporter.path
+                for party, exporter in self._files.items()}
+
+    def close(self) -> None:
+        for exporter in self._files.values():
+            exporter.close()
+
+    def __enter__(self) -> "PartyFilesExporter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -9,6 +9,7 @@ from repro.crypto.prng import RandomSource, SystemRandomSource
 from repro.crypto.signature import Signer, Verifier
 from repro.crypto.timestamp import TimestampService
 from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation
+from repro.obs.trace import PartyTraceContext
 from repro.storage.checkpoint import CheckpointStore
 from repro.storage.journal import MessageJournal
 from repro.storage.log import NonRepudiationLog
@@ -39,8 +40,11 @@ class PartyContext:
     journal: MessageJournal = None  # type: ignore[assignment]
     checkpoints: CheckpointStore = None  # type: ignore[assignment]
     obs: Instrumentation = NULL_INSTRUMENTATION
+    trace: PartyTraceContext = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
+        if self.trace is None:
+            self.trace = PartyTraceContext(self.party_id)
         if self.evidence is None:
             self.evidence = NonRepudiationLog(self.party_id, obs=self.obs)
         if self.journal is None:

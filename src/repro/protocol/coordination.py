@@ -268,6 +268,7 @@ class StateCoordinationEngine(EngineBase):
             {"run_id": run_id, "proposal": proposal.to_dict(), "mode": mode},
         )
         message = propose_message(proposal, body)
+        self._trace_send(run_id, PHASE_M1, message, recipients)
         for recipient in recipients:
             self._journal_sent(run_id, recipient, message)
             output.send(recipient, message)
@@ -349,6 +350,7 @@ class StateCoordinationEngine(EngineBase):
             return output
 
         run_id = self._state_run_id(new_sid)
+        self._trace_receive(run_id, PHASE_M1, sender, message)
         existing = self._runs.get(run_id)
         if existing is not None:
             return self._replay_responder_messages(existing, output)
@@ -400,6 +402,12 @@ class StateCoordinationEngine(EngineBase):
                 self.party_id, self.object_name, run_id,
                 decision.accepted, list(decision.diagnostics),
             )
+            decided = self.ctx.trace.local_event(run_id)
+            self.ctx.obs.causal_decision(
+                self.party_id, self.object_name, run_id,
+                decided.trace_id, decided.lamport,
+                decision.accepted, list(decision.diagnostics),
+            )
         if decision.accepted:
             # An accepted proposal must settle before this replica takes
             # part in another run, or concurrent installs could diverge.
@@ -409,6 +417,7 @@ class StateCoordinationEngine(EngineBase):
             "response-sent", {"run_id": run_id, "response": response.to_dict()}
         )
         reply = respond_message(response)
+        self._trace_send(run_id, PHASE_M2, reply, [proposer])
         self._journal_sent(run_id, proposer, reply)
         output.send(proposer, reply)
         self._obs_message(run_id, PHASE_M2, SENT, reply)
@@ -418,6 +427,7 @@ class StateCoordinationEngine(EngineBase):
         """Idempotent re-handling of a duplicated / recovered ``m1``."""
         if run.role == ROLE_RESPONDER and run.own_response is not None:
             reply = respond_message(run.own_response)
+            self._trace_send(run.run_id, PHASE_M2, reply, [run.proposer])
             output.send(run.proposer, reply)
             self._obs_message(run.run_id, PHASE_M2, SENT, reply)
         return output
@@ -531,6 +541,7 @@ class StateCoordinationEngine(EngineBase):
                                "response missing state identifier")
             return output
         run_id = self._state_run_id(new_sid)
+        self._trace_receive(run_id, PHASE_M2, sender, message)
         run = self._runs.get(run_id)
         if run is None or run.role != ROLE_PROPOSER:
             # A response to a run we never proposed: either stale or forged.
@@ -541,6 +552,7 @@ class StateCoordinationEngine(EngineBase):
             # Run already settled: the responder evidently missed m3
             # (e.g. it crashed and recovered) — re-send it.
             if run.commit is not None:
+                self._trace_send(run_id, PHASE_M3, run.commit, [responder])
                 output.send(responder, run.commit)
                 self._obs_message(run_id, PHASE_M3, SENT, run.commit)
             return output
@@ -642,6 +654,7 @@ class StateCoordinationEngine(EngineBase):
             self.object_name, run.new_sid, run.auth or b"", run.proposal, responses
         )
         run.commit = commit
+        self._trace_send(run.run_id, PHASE_M3, commit, run.recipients)
         for recipient in run.recipients:
             self._journal_sent(run.run_id, recipient, commit)
             output.send(recipient, commit)
@@ -666,6 +679,7 @@ class StateCoordinationEngine(EngineBase):
                                "commit missing state identifier")
             return output
         run_id = self._state_run_id(new_sid)
+        self._trace_receive(run_id, PHASE_M3, sender, message)
         run = self._runs.get(run_id)
 
         proposal = self._parse_part(message, "proposal")
@@ -814,6 +828,11 @@ class StateCoordinationEngine(EngineBase):
                 self.party_id, self.object_name, run.run_id, run.role,
                 run.outcome, self.ctx.clock.now() - run.started_at,
             )
+            settled = self.ctx.trace.local_event(run.run_id)
+            self.ctx.obs.causal_outcome(
+                self.party_id, self.object_name, run.run_id,
+                settled.trace_id, settled.lamport, run.role, run.outcome,
+            )
 
         if responses is None:
             responses = [run.responses[p] for p in run.recipients
@@ -906,12 +925,14 @@ class StateCoordinationEngine(EngineBase):
             if run.role == ROLE_PROPOSER:
                 message = propose_message(run.proposal, run.body)
                 waiting = run.waiting_on()
+                self._trace_send(run.run_id, PHASE_M1, message, waiting)
                 for recipient in waiting:
                     output.send(recipient, message)
                 self._obs_message(run.run_id, PHASE_M1, SENT, message,
                                   count=len(waiting))
             elif run.own_response is not None:
                 reply = respond_message(run.own_response)
+                self._trace_send(run.run_id, PHASE_M2, reply, [run.proposer])
                 output.send(run.proposer, reply)
                 self._obs_message(run.run_id, PHASE_M2, SENT, reply)
         return output
@@ -1032,6 +1053,7 @@ class StateCoordinationEngine(EngineBase):
         else:
             message = propose_message(proposal, run.body)
             waiting = run.waiting_on()
+            self._trace_send(run_id, PHASE_M1, message, waiting)
             for recipient in waiting:
                 output.send(recipient, message)
             self._obs_message(run_id, PHASE_M1, SENT, message,

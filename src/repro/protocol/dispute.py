@@ -13,9 +13,11 @@ re-verifies authenticated-decision bundles, and rules on claims such as
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from repro.crypto.signature import Verifier
 from repro.errors import DisputeError, LogCorruptionError, StorageError
+from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation
 from repro.protocol.evidence import (
     VerifiedDecision,
     find_equivocation,
@@ -57,9 +59,11 @@ class Arbiter:
     """Trusted third party ruling from non-repudiation evidence."""
 
     def __init__(self, resolver: VerifierResolver,
-                 tsa_verifier: "Verifier | None" = None) -> None:
+                 tsa_verifier: "Verifier | None" = None,
+                 obs: "Instrumentation | None" = None) -> None:
         self._resolver = resolver
         self._tsa_verifier = tsa_verifier
+        self._obs = obs if obs is not None else NULL_INSTRUMENTATION
         self._submissions: "dict[str, SubmittedEvidence]" = {}
 
     def submit(self, party_id: str, log: NonRepudiationLog) -> SubmittedEvidence:
@@ -75,6 +79,8 @@ class Arbiter:
             submission.log_intact = False
             submission.log_error = str(exc)
         self._submissions[party_id] = submission
+        if self._obs.enabled:
+            self._obs.evidence_submitted(party_id, submission.log_intact)
         return submission
 
     def _intact_submissions(self) -> "list[SubmittedEvidence]":
@@ -84,8 +90,22 @@ class Arbiter:
     # rulings
     # ------------------------------------------------------------------
 
+    def _timed_ruling(self, kind: str, started: float, ruling: Ruling) -> Ruling:
+        if self._obs.enabled:
+            self._obs.claim_checked(kind, ruling.outcome, ruling.culprits,
+                                    time.perf_counter() - started)
+        return ruling
+
     def rule_on_state_validity(self, object_name: str, run_id: str,
                                claimant: str) -> Ruling:
+        started = time.perf_counter()
+        return self._timed_ruling(
+            "state-validity", started,
+            self._rule_on_state_validity(object_name, run_id, claimant),
+        )
+
+    def _rule_on_state_validity(self, object_name: str, run_id: str,
+                                claimant: str) -> Ruling:
         """Rule on the claim "run *run_id* validly agreed a new state".
 
         The claim is upheld iff the claimant's (intact) log contains an
@@ -122,6 +142,12 @@ class Arbiter:
                        f"proposed by {verdict.proposer}"])
 
     def rule_on_misbehaviour(self, accused: str) -> Ruling:
+        started = time.perf_counter()
+        return self._timed_ruling(
+            "misbehaviour", started, self._rule_on_misbehaviour(accused)
+        )
+
+    def _rule_on_misbehaviour(self, accused: str) -> Ruling:
         """Rule on the claim "party *accused* misbehaved".
 
         Upheld when any intact submission contains either (a) a recorded
@@ -176,6 +202,14 @@ class Arbiter:
 
     def rule_on_participation(self, object_name: str, run_id: str,
                               participant: str) -> Ruling:
+        started = time.perf_counter()
+        return self._timed_ruling(
+            "participation", started,
+            self._rule_on_participation(object_name, run_id, participant),
+        )
+
+    def _rule_on_participation(self, object_name: str, run_id: str,
+                               participant: str) -> Ruling:
         """Rule on "party *participant* took part in run *run_id*".
 
         Upheld when any intact log holds a message signed by the

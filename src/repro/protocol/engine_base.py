@@ -10,10 +10,19 @@ from repro.errors import (
     SignatureError,
     TimestampError,
 )
+from repro.obs.hooks import RECEIVED as OBS_RECEIVED
+from repro.obs.hooks import SENT as OBS_SENT
 from repro.obs.hooks import approx_size
+from repro.obs.trace import TraceContext
 from repro.protocol.context import PartyContext
 from repro.protocol.events import MisbehaviourEvent, Output
-from repro.protocol.messages import SignedPart, make_signed, verify_signed
+from repro.protocol.messages import (
+    SignedPart,
+    attach_trace_context,
+    extract_trace_context,
+    make_signed,
+    verify_signed,
+)
 from repro.storage.journal import RECEIVED, SENT
 
 
@@ -123,6 +132,43 @@ class EngineBase:
         for _ in range(count):
             obs.protocol_message(self.ctx.party_id, self.object_name,
                                  run_id, phase, direction, size)
+
+    # ------------------------------------------------------------------
+    # causal tracing
+    # ------------------------------------------------------------------
+
+    def _trace_send(self, run_id: str, phase: str, message: dict,
+                    recipients: "list[str]") -> None:
+        """Attach causal context to an outbound wire message.
+
+        One broadcast is one Lamport event: every recipient receives the
+        same context, and the message dict (shared by journal and all
+        sends) gains exactly one unsigned ``trace_ctx`` field.  Re-sends
+        re-enter here and stamp a fresh context — each transmission is a
+        new event on the timeline.
+        """
+        if not self.ctx.obs.enabled:
+            return
+        ctx = self.ctx.trace.begin_send(run_id)
+        attach_trace_context(message, ctx.to_dict())
+        for peer in recipients:
+            self.ctx.obs.causal_message(
+                self.ctx.party_id, self.object_name, run_id, phase,
+                OBS_SENT, peer, ctx.trace_id, ctx.span_id, "", ctx.lamport,
+            )
+
+    def _trace_receive(self, run_id: str, phase: str, sender: str,
+                       message: dict) -> "TraceContext | None":
+        """Absorb the carried context of an inbound message and record it."""
+        if not self.ctx.obs.enabled:
+            return None
+        ctx = self.ctx.trace.receive(run_id, extract_trace_context(message))
+        self.ctx.obs.causal_message(
+            self.ctx.party_id, self.object_name, run_id, phase,
+            OBS_RECEIVED, sender, ctx.trace_id, ctx.span_id,
+            ctx.parent_span_id, ctx.lamport,
+        )
+        return ctx
 
     # ------------------------------------------------------------------
     # helpers

@@ -57,7 +57,26 @@ SPONSOR_INFO = "sponsor_info"
 MODE_OVERWRITE = "overwrite"
 MODE_UPDATE = "update"
 
+# Cross-party causal tracing (repro.obs.trace).  The context rides as a
+# top-level field of the wire message, *outside* every SignedPart, so
+# attaching it never perturbs signatures, digests or golden evidence —
+# it is diagnostic metadata with no protocol authority.
+TRACE_CTX = "trace_ctx"
+
 VerifierResolver = Callable[[str], Verifier]
+
+
+def attach_trace_context(message: dict, ctx_dict: "dict | None") -> dict:
+    """Set (or replace) the unsigned causal context on a wire message."""
+    if ctx_dict is not None:
+        message[TRACE_CTX] = ctx_dict
+    return message
+
+
+def extract_trace_context(message: dict) -> "Optional[dict]":
+    """Read the carried causal context, if any (absent for old peers)."""
+    raw = message.get(TRACE_CTX)
+    return raw if isinstance(raw, dict) else None
 
 
 @dataclass(frozen=True)

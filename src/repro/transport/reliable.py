@@ -91,6 +91,13 @@ class ReliableEndpoint:
             self._obs.message_sent(self.party_id, recipient,
                                    approx_size(envelope.to_dict()))
             self._obs.queue_depth(self.party_id, len(self._outstanding))
+            # Bind the transport message id to the causal trace carried in
+            # the payload so retransmission/duplicate events (which only
+            # see msg_id) can be attributed to a coordination run.
+            trace_ctx = payload.get("trace_ctx")
+            if isinstance(trace_ctx, dict) and trace_ctx.get("trace_id"):
+                self._obs.send_traced(self.party_id, recipient, msg_id,
+                                      str(trace_ctx["trace_id"]))
         return msg_id
 
     def outstanding_count(self) -> int:

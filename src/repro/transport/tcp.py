@@ -10,6 +10,7 @@ over the simulated lossy network.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 from typing import Callable, Optional
@@ -33,10 +34,17 @@ class TcpNetwork(Network):
     """
 
     def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 2.0,
-                 obs: "Instrumentation | None" = None) -> None:
+                 obs: "Instrumentation | None" = None,
+                 drop_probability: float = 0.0,
+                 drop_seed: "int | None" = None) -> None:
         self._host = host
         self._connect_timeout = connect_timeout
         self._obs = obs if obs is not None else NULL_INSTRUMENTATION
+        # Optional fault injection: drop outbound data frames before they
+        # reach the socket, so demos and tests can exercise the reliable
+        # layer's retransmission over real sockets deterministically.
+        self._drop_probability = drop_probability
+        self._drop_rng = random.Random(drop_seed)
         self._directory: "dict[str, tuple[str, int]]" = {}
         self._listeners: "dict[str, _Listener]" = {}
         self._lock = threading.Lock()
@@ -75,6 +83,12 @@ class TcpNetwork(Network):
             host, port = self.address_of(envelope.recipient)
         except TransportError:
             return  # unknown party: drop, retransmission may find it later
+        if (self._drop_probability > 0.0
+                and self._drop_rng.random() < self._drop_probability):
+            if self._obs.enabled:
+                self._obs.raw_send(envelope.sender, envelope.recipient,
+                                   0, ok=False)
+            return  # injected loss: the reliable layer retransmits
         line = canonical_bytes(envelope.to_dict()) + b"\n"
         try:
             with socket.create_connection((host, port), timeout=self._connect_timeout) as conn:
