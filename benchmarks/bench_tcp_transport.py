@@ -13,12 +13,23 @@ tens of milliseconds on loopback.
 
 from __future__ import annotations
 
+import json
+import os
+import threading
 import time
 
 from repro.bench.metrics import format_table
 from repro.core import Community, DictB2BObject, SimRuntime, ThreadedRuntime
+from repro.transport.reliable import ReliableEndpoint
+from repro.transport.tcp import TcpNetwork
 
-RUNS = 10
+#: ``REPRO_BENCH_SMOKE=1`` shrinks the workload so CI can run this bench
+#: on every push and still produce the comparison JSON artifact.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+RUNS = 3 if SMOKE else 10
+THROUGHPUT_MESSAGES = 100 if SMOKE else 400
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def run_over(runtime_factory, n_parties, seed=0):
@@ -87,3 +98,85 @@ def test_c11_tcp_vs_simulator(benchmark, report):
     ) + ("\n\nidentical outcomes and verified evidence chains on both "
          "transports: yes")
     report("C11", "real TCP transport vs simulator", body)
+
+
+def _measure_throughput(pooled: bool, messages: int) -> dict:
+    """Messages/second for a reliable A->B stream over one TCP mode."""
+    network = TcpNetwork(pooled=pooled)
+    try:
+        delivered = threading.Event()
+        count = [0]
+        lock = threading.Lock()
+        sender = ReliableEndpoint("A", network, retransmit_interval=0.5)
+        receiver = ReliableEndpoint("B", network, retransmit_interval=0.5)
+
+        def on_message(peer, payload):
+            with lock:
+                count[0] += 1
+                if count[0] >= messages:
+                    delivered.set()
+
+        receiver.on_message(on_message)
+        start = time.perf_counter()
+        for i in range(messages):
+            sender.send("B", {"i": i, "pad": "x" * 64})
+        assert delivered.wait(60.0), "throughput workload did not complete"
+        elapsed = time.perf_counter() - start
+        # Let acks drain so the retransmit timers stop cleanly.
+        deadline = time.monotonic() + 10.0
+        while sender.outstanding_count() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        sender.stop()
+        receiver.stop()
+        return {
+            "mode": "pooled" if pooled else "per-message",
+            "messages": messages,
+            "seconds": elapsed,
+            "msgs_per_sec": messages / elapsed,
+            "retransmissions": sender.retransmissions,
+        }
+    finally:
+        network.close()
+
+
+def test_c11b_pooled_vs_per_message(report):
+    """Tentpole comparison: persistent pool vs connection-per-message.
+
+    Writes ``benchmarks/results/BENCH_tcp_transport.json`` so CI can track
+    the perf trajectory of the transport across commits.
+    """
+    per_message = _measure_throughput(pooled=False,
+                                      messages=THROUGHPUT_MESSAGES)
+    pooled = _measure_throughput(pooled=True, messages=THROUGHPUT_MESSAGES)
+    speedup = pooled["msgs_per_sec"] / per_message["msgs_per_sec"]
+
+    comparison = {
+        "experiment": "C11b",
+        "workload": f"{THROUGHPUT_MESSAGES} reliable A->B messages, "
+                    f"loopback TCP",
+        "smoke": SMOKE,
+        "per_message": per_message,
+        "pooled": pooled,
+        "pooled_speedup": speedup,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "BENCH_tcp_transport.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(comparison, handle, indent=2, sort_keys=True)
+
+    rows = [
+        [result["mode"], result["messages"], result["seconds"] * 1e3,
+         result["msgs_per_sec"], result["retransmissions"]]
+        for result in (per_message, pooled)
+    ]
+    body = format_table(
+        ["mode", "messages", "wall ms", "msgs/sec", "retransmissions"],
+        rows,
+    ) + (f"\n\npooled speedup over per-message: {speedup:.2f}x"
+         f"\ncomparison JSON: {json_path}")
+    report("C11b", "pooled vs per-message TCP throughput", body)
+    # The persistent pool exists to amortise the 3(n-1) handshakes per
+    # round; anything under 2x means the pool is not actually persisting.
+    assert speedup >= 2.0, (
+        f"pooled mode only {speedup:.2f}x over per-message"
+    )

@@ -211,6 +211,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _run_forensic_game(seed: int, latency: float, drop: float,
                        duplicate: float, transport: str = "sim",
+                       tcp_mode: str = "pooled",
                        export_dir: "str | None" = None,
                        trace_out: "str | None" = None):
     """Instrumented 3-party Tic-Tac-Toe run with the Figure 5 cheat.
@@ -254,6 +255,7 @@ def _run_forensic_game(seed: int, latency: float, drop: float,
     if transport == "tcp":
         runtime = ThreadedRuntime(network=TcpNetwork(
             obs=obs, drop_probability=drop, drop_seed=seed,
+            pooled=(tcp_mode == "pooled"),
         ))
         retransmit_interval = 0.03
     else:
@@ -323,13 +325,16 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     community, objects, rejected, obs, trace_paths = _run_forensic_game(
         seed=args.seed, latency=args.latency, drop=args.drop,
         duplicate=args.duplicate, transport=args.transport,
+        tcp_mode=args.tcp_mode,
         export_dir=args.export_dir, trace_out=args.trace_out,
     )
 
     game = objects["Witness"]
     board = game.board
+    transport_label = (f"tcp/{args.tcp_mode}" if args.transport == "tcp"
+                       else args.transport)
     print(f"3-party Tic-Tac-Toe over lossy links "
-          f"(transport={args.transport} seed={args.seed} "
+          f"(transport={transport_label} seed={args.seed} "
           f"drop={args.drop} duplicate={args.duplicate})")
     for row in range(3):
         print("  " + " ".join(cell or "." for cell in board[row * 3:row * 3 + 3]))
@@ -518,6 +523,12 @@ def build_parser() -> argparse.ArgumentParser:
                             default="sim",
                             help="sim: deterministic virtual time; "
                                  "tcp: real sockets with injected loss")
+    obs_report.add_argument("--tcp-mode", choices=["pooled", "per-message"],
+                            default="pooled",
+                            help="pooled: persistent per-peer connections "
+                                 "with frame coalescing (default); "
+                                 "per-message: one short-lived connection "
+                                 "per frame (the original prototype)")
     obs_report.add_argument("--export-dir", default=None,
                             help="write per-party traces, evidence logs and "
                                  "keys.json under this directory "

@@ -119,6 +119,23 @@ class Instrumentation:
                  ok: bool) -> None:
         """A raw network transmission attempt (e.g. one TCP connection)."""
 
+    def connection_opened(self, party: str, peer: str,
+                          reconnect: bool) -> None:
+        """The pooled TCP transport opened a connection to *peer*.
+
+        *reconnect* is True when a previous connection to the same peer
+        existed and broke — i.e. this open is a transparent recovery.
+        """
+
+    def connection_reused(self, party: str, peer: str) -> None:
+        """A frame batch rode an already-open pooled connection."""
+
+    def connection_failed(self, party: str, peer: str) -> None:
+        """A pooled connect attempt failed; queued frames were dropped."""
+
+    def frames_coalesced(self, party: str, peer: str, frames: int) -> None:
+        """*frames* (> 1) back-to-back frames left in one ``sendall``."""
+
     def send_traced(self, party: str, recipient: str, msg_id: str,
                     trace_id: str) -> None:
         """The reliable layer bound transport *msg_id* to a trace.

@@ -124,6 +124,22 @@ class RecordingInstrumentation(Instrumentation):
         if not ok:
             self.registry.counter("transport.raw.send_errors").inc()
 
+    def connection_opened(self, party, peer, reconnect):
+        self.registry.counter("transport.tcp.connections_opened").inc()
+        if reconnect:
+            self.registry.counter("transport.tcp.reconnects").inc()
+            self.tracer.event("transport.reconnect", party=party, peer=peer)
+
+    def connection_reused(self, party, peer):
+        self.registry.counter("transport.tcp.connections_reused").inc()
+
+    def connection_failed(self, party, peer):
+        self.registry.counter("transport.tcp.connect_failures").inc()
+
+    def frames_coalesced(self, party, peer, frames):
+        self.registry.counter("transport.tcp.batches").inc()
+        self.registry.counter("transport.tcp.frames_coalesced").inc(frames)
+
     def send_traced(self, party, recipient, msg_id, trace_id):
         self.tracer.event("transport.send", party=party, peer=recipient,
                           msg_id=msg_id, trace_id=trace_id)

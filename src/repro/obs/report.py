@@ -100,7 +100,23 @@ def _transport_section(registry: MetricsRegistry) -> str:
         ["retry exhausted", registry.counter_value("transport.retry_exhausted")],
         ["max outbound queue depth", depth.high_water],
     ]
-    return "== reliable transport ==\n" + format_table(["counter", "value"], rows)
+    pool_rows = [
+        ["connections opened",
+         registry.counter_value("transport.tcp.connections_opened")],
+        ["reconnects", registry.counter_value("transport.tcp.reconnects")],
+        ["connections reused",
+         registry.counter_value("transport.tcp.connections_reused")],
+        ["connect failures",
+         registry.counter_value("transport.tcp.connect_failures")],
+        ["frames coalesced",
+         registry.counter_value("transport.tcp.frames_coalesced")],
+        ["coalesced batches", registry.counter_value("transport.tcp.batches")],
+    ]
+    text = "== reliable transport ==\n" + format_table(["counter", "value"], rows)
+    if any(value for _, value in pool_rows):
+        text += ("\n\n== tcp connection pool ==\n"
+                 + format_table(["counter", "value"], pool_rows))
+    return text
 
 
 def _storage_section(registry: MetricsRegistry) -> str:

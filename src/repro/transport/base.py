@@ -106,6 +106,11 @@ class Network:
     def now(self) -> float:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release transport resources (sockets, pooled connections,
+        worker threads).  No-op for networks that hold none; must be
+        idempotent."""
+
 
 class NetworkFilter:
     """Hook for intruder / fault models to intercept raw traffic.

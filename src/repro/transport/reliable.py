@@ -12,12 +12,28 @@ partitioned — behind exactly those semantics:
 
 Acknowledgements are idempotent, so lost acks simply cause harmless
 retransmissions.
+
+The endpoint is thread-safe: over a real network (``TcpNetwork``) it is
+driven concurrently by listener threads (inbound data and acks) and
+``threading.Timer`` callbacks (retransmissions), so all bookkeeping —
+the outstanding map, the duplicate-suppression window, the counters —
+is guarded by one lock.  Network I/O and user callbacks run outside the
+lock; a retransmission and an ack racing for the same message id resolve
+atomically, so the failure handler and the ack path can never both claim
+it.
+
+Duplicate suppression is bounded: ids are tracked per sender instance
+(the ``{party}/{instance}/{seq}`` id structure) in a sliding window, so
+long-running deployments do not accumulate one set entry per message
+ever received.
 """
 
 from __future__ import annotations
 
+import collections
 import itertools
 import secrets
+import threading
 from typing import Callable, Optional
 
 from repro.errors import DeliveryError
@@ -31,6 +47,66 @@ from repro.transport.base import Envelope, Network, TimerHandle
 DATA = "data"
 ACK = "ack"
 
+#: Per-sender-instance duplicate-suppression window.  A duplicate can only
+#: arrive while its original is still being retransmitted, so the window
+#: just needs to cover the retransmission horizon; 1024 ids is orders of
+#: magnitude beyond any plausible in-flight count.
+DEFAULT_DEDUP_WINDOW = 1024
+
+#: Bound on tracked sender instances.  A new instance appears only when a
+#: peer endpoint restarts; the least-recently-active instance is evicted.
+DEFAULT_DEDUP_SOURCES = 256
+
+
+class _DedupWindow:
+    """Bounded once-only filter over ``{party}/{instance}/{seq}`` ids.
+
+    Ids are bucketed by their ``{party}/{instance}`` prefix and each
+    bucket keeps only the most recent *window* ids (insertion order ==
+    seq order for a well-behaved sender, and approximately so under
+    reordering, which is all duplicate suppression needs).  Buckets
+    themselves are LRU-bounded so restarted peers do not leak.
+    """
+
+    __slots__ = ("_window", "_max_sources", "_sources")
+
+    def __init__(self, window: int = DEFAULT_DEDUP_WINDOW,
+                 max_sources: int = DEFAULT_DEDUP_SOURCES) -> None:
+        self._window = max(1, window)
+        self._max_sources = max(1, max_sources)
+        # prefix -> (id set, insertion-ordered deque); dict order is the
+        # LRU order (moved to the end on every touch).
+        self._sources: "collections.OrderedDict[str, tuple[set, collections.deque]]" = (
+            collections.OrderedDict()
+        )
+
+    def seen_before(self, msg_id: str) -> bool:
+        """Record *msg_id*; return True when it was already recorded."""
+        prefix = msg_id.rpartition("/")[0]
+        bucket = self._sources.get(prefix)
+        if bucket is None:
+            bucket = (set(), collections.deque())
+            self._sources[prefix] = bucket
+            while len(self._sources) > self._max_sources:
+                self._sources.popitem(last=False)
+        else:
+            self._sources.move_to_end(prefix)
+        ids, order = bucket
+        if msg_id in ids:
+            return True
+        ids.add(msg_id)
+        order.append(msg_id)
+        while len(order) > self._window:
+            ids.discard(order.popleft())
+        return False
+
+    def __len__(self) -> int:
+        return sum(len(ids) for ids, _ in self._sources.values())
+
+    @property
+    def source_count(self) -> int:
+        return len(self._sources)
+
 
 class ReliableEndpoint:
     """One party's reliable attachment point on a raw network."""
@@ -40,6 +116,7 @@ class ReliableEndpoint:
                  max_retries: "int | None" = None,
                  backoff_factor: float = 1.5,
                  max_interval: float = 2.0,
+                 dedup_window: int = DEFAULT_DEDUP_WINDOW,
                  obs: "Instrumentation | None" = None) -> None:
         self.party_id = party_id
         self._network = network
@@ -52,11 +129,15 @@ class ReliableEndpoint:
         self._failure_handler: "Optional[Callable[[str, dict, DeliveryError], None]]" = None
         # The instance tag keeps message ids unique across process
         # restarts: a rebuilt endpoint must not reuse ids its peers have
-        # already recorded in their duplicate-suppression sets.
+        # already recorded in their duplicate-suppression windows.
         self._instance = secrets.token_hex(4)
         self._seq = itertools.count(1)
+        # Guards _outstanding, _delivered, counters and _stopped; timer
+        # callbacks and listener threads all land here concurrently.
+        # Reentrant because a failure handler may itself call send().
+        self._lock = threading.RLock()
         self._outstanding: "dict[str, _Pending]" = {}
-        self._delivered_ids: "set[str]" = set()
+        self._delivered = _DedupWindow(window=dedup_window)
         self._stopped = False
         self.retransmissions = 0
         self.duplicates_suppressed = 0
@@ -74,8 +155,6 @@ class ReliableEndpoint:
 
     def send(self, recipient: str, payload: dict) -> str:
         """Reliably send *payload*; returns the message id."""
-        if self._stopped:
-            raise DeliveryError(f"{self.party_id}: endpoint is stopped")
         msg_id = f"{self.party_id}/{self._instance}/{next(self._seq)}"
         envelope = Envelope(
             sender=self.party_id,
@@ -84,13 +163,23 @@ class ReliableEndpoint:
             msg_id=msg_id,
         )
         pending = _Pending(envelope=envelope, interval=self._interval)
-        self._outstanding[msg_id] = pending
+        with self._lock:
+            if self._stopped:
+                raise DeliveryError(f"{self.party_id}: endpoint is stopped")
+            self._outstanding[msg_id] = pending
+        # Socket work happens outside the lock: a slow connect must not
+        # stall the ack path or other senders.
         self._network.send(envelope)
-        self._arm_retransmit(pending)
+        with self._lock:
+            # The ack may already have arrived (loopback is fast); only
+            # arm the retransmit timer while the send is still open.
+            if msg_id in self._outstanding and not self._stopped:
+                self._arm_retransmit(pending)
+            depth = len(self._outstanding)
         if self._obs.enabled:
             self._obs.message_sent(self.party_id, recipient,
                                    approx_size(envelope.to_dict()))
-            self._obs.queue_depth(self.party_id, len(self._outstanding))
+            self._obs.queue_depth(self.party_id, depth)
             # Bind the transport message id to the causal trace carried in
             # the payload so retransmission/duplicate events (which only
             # see msg_id) can be attributed to a coordination run.
@@ -101,19 +190,28 @@ class ReliableEndpoint:
         return msg_id
 
     def outstanding_count(self) -> int:
-        return len(self._outstanding)
+        with self._lock:
+            return len(self._outstanding)
+
+    def dedup_entries(self) -> int:
+        """Number of ids currently held for duplicate suppression."""
+        with self._lock:
+            return len(self._delivered)
 
     def stop(self) -> None:
         """Cancel all timers; used at shutdown and in crash simulation."""
-        self._stopped = True
-        for pending in self._outstanding.values():
+        with self._lock:
+            self._stopped = True
+            pendings = list(self._outstanding.values())
+            self._outstanding.clear()
+        for pending in pendings:
             if pending.timer is not None:
                 pending.timer.cancel()
-        self._outstanding.clear()
 
     def restart(self) -> None:
         """Resume after a simulated crash (outstanding sends were lost)."""
-        self._stopped = False
+        with self._lock:
+            self._stopped = False
 
     # ------------------------------------------------------------------
     # internals
@@ -126,16 +224,28 @@ class ReliableEndpoint:
 
     def _retransmit(self, pending: "_Pending") -> None:
         msg_id = pending.envelope.msg_id
-        if self._stopped or msg_id not in self._outstanding:
-            return
-        if self._max_retries is not None and pending.attempts >= self._max_retries:
-            del self._outstanding[msg_id]
+        give_up = False
+        with self._lock:
+            # Claim the message atomically: an ack racing this callback
+            # either pops it first (we bail out here) or loses and is a
+            # harmless no-op — never a KeyError or a double fire.
+            if self._stopped or self._outstanding.get(msg_id) is not pending:
+                return
+            if (self._max_retries is not None
+                    and pending.attempts >= self._max_retries):
+                del self._outstanding[msg_id]
+                give_up = True
+            else:
+                pending.attempts += 1
+                self.retransmissions += 1
+            depth = len(self._outstanding)
+        if give_up:
             if self._obs.enabled:
                 self._obs.retry_exhausted(
                     self.party_id, pending.envelope.recipient, msg_id,
                     pending.attempts,
                 )
-                self._obs.queue_depth(self.party_id, len(self._outstanding))
+                self._obs.queue_depth(self.party_id, depth)
             error = DeliveryError(
                 f"{self.party_id}: gave up sending {msg_id} to "
                 f"{pending.envelope.recipient} after {pending.attempts} retries"
@@ -145,20 +255,23 @@ class ReliableEndpoint:
                     pending.envelope.recipient, pending.envelope.payload["data"], error
                 )
             return
-        pending.attempts += 1
-        self.retransmissions += 1
         if self._obs.enabled:
             self._obs.retransmission(
                 self.party_id, pending.envelope.recipient, msg_id,
                 pending.attempts,
             )
         self._network.send(pending.envelope)
-        pending.interval = min(pending.interval * self._backoff, self._max_interval)
-        self._arm_retransmit(pending)
+        with self._lock:
+            if self._stopped or self._outstanding.get(msg_id) is not pending:
+                return  # acked while the retransmission was on the wire
+            pending.interval = min(pending.interval * self._backoff,
+                                   self._max_interval)
+            self._arm_retransmit(pending)
 
     def _on_raw_message(self, envelope: Envelope) -> None:
-        if self._stopped:
-            return
+        with self._lock:
+            if self._stopped:
+                return
         kind = envelope.payload.get("type")
         if kind == ACK:
             self._handle_ack(envelope.payload.get("ack_of", ""))
@@ -166,15 +279,17 @@ class ReliableEndpoint:
             self._handle_data(envelope)
 
     def _handle_ack(self, msg_id: str) -> None:
-        pending = self._outstanding.pop(msg_id, None)
-        if pending is None:
-            return
-        self.acks_received += 1
+        with self._lock:
+            pending = self._outstanding.pop(msg_id, None)
+            if pending is None:
+                return
+            self.acks_received += 1
+            depth = len(self._outstanding)
         if pending.timer is not None:
             pending.timer.cancel()
         if self._obs.enabled:
             self._obs.ack_received(self.party_id, msg_id)
-            self._obs.queue_depth(self.party_id, len(self._outstanding))
+            self._obs.queue_depth(self.party_id, depth)
 
     def _handle_data(self, envelope: Envelope) -> None:
         # Always (re-)acknowledge: the sender may have missed a prior ack.
@@ -184,13 +299,15 @@ class ReliableEndpoint:
             payload={"type": ACK, "ack_of": envelope.msg_id},
         )
         self._network.send(ack)
-        if envelope.msg_id in self._delivered_ids:
-            self.duplicates_suppressed += 1
+        with self._lock:
+            duplicate = self._delivered.seen_before(envelope.msg_id)
+            if duplicate:
+                self.duplicates_suppressed += 1
+        if duplicate:
             if self._obs.enabled:
                 self._obs.duplicate_suppressed(self.party_id, envelope.sender,
                                                envelope.msg_id)
             return
-        self._delivered_ids.add(envelope.msg_id)
         if self._handler is not None:
             self._handler(envelope.sender, envelope.payload["data"])
 

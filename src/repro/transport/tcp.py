@@ -2,17 +2,35 @@
 
 The original prototype used Java RMI between organisations; this module is
 the real-network counterpart of the simulated substrate: one listener
-socket per registered party, canonical-JSON-lines framing, one short-lived
-connection per message.  Sends are best-effort — connection failures drop
-the message and the reliable layer's retransmission recovers, exactly as
-over the simulated lossy network.
+socket per registered party and canonical-JSON-lines framing.
+
+Two sending modes are supported:
+
+* **pooled** (default) — one long-lived connection per remote peer, owned
+  by a dedicated writer thread.  Senders enqueue frames; the writer drains
+  the whole queue and pushes it through a single ``sendall``, so
+  back-to-back sends (an m2/m3 fan-out, a retransmission burst) coalesce
+  into one syscall over one connection instead of paying a TCP handshake
+  per message.  A broken connection is detected on write, the affected
+  frames are dropped, and the next batch transparently reconnects (with a
+  short backoff so a dead peer is not hammered).
+* **per-message** — the original semantics: one short-lived connection per
+  frame.  Kept for comparison benchmarks and as a fallback.
+
+Both modes are best-effort — connection failures drop frames and the
+reliable layer's retransmission recovers, exactly as over the simulated
+lossy network.
 """
 
 from __future__ import annotations
 
+import collections
+import heapq
+import itertools
 import random
 import socket
 import threading
+import time
 from typing import Callable, Optional
 
 from repro.errors import TransportError
@@ -23,6 +41,12 @@ from repro.util.encoding import canonical_bytes, from_canonical_bytes
 
 _MAX_LINE = 16 * 1024 * 1024
 
+#: Minimum delay between reconnect attempts to a peer that refused the
+#: last connection.  Frames arriving inside the window are dropped
+#: immediately (best-effort); retransmission recovers once the peer is
+#: back.
+RECONNECT_BACKOFF = 0.05
+
 
 class TcpNetwork(Network):
     """Real-socket network hosting any number of party endpoints.
@@ -30,28 +54,42 @@ class TcpNetwork(Network):
     In a single process it is self-contained: ``register`` assigns an
     ephemeral port and records it in the address directory.  For
     multi-process deployments, pre-populate the directory with
-    ``add_remote_party``.
+    ``add_remote_party`` (and pass an explicit ``port`` to ``register``
+    so peers can find this process after a restart).
     """
 
     def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 2.0,
                  obs: "Instrumentation | None" = None,
                  drop_probability: float = 0.0,
-                 drop_seed: "int | None" = None) -> None:
+                 drop_seed: "int | None" = None,
+                 pooled: bool = True) -> None:
         self._host = host
         self._connect_timeout = connect_timeout
         self._obs = obs if obs is not None else NULL_INSTRUMENTATION
         # Optional fault injection: drop outbound data frames before they
         # reach the socket, so demos and tests can exercise the reliable
         # layer's retransmission over real sockets deterministically.
+        # Each (sender, recipient) link draws from its own seeded stream,
+        # so the k-th send on a link is dropped (or not) independently of
+        # how sender threads interleave across links.
         self._drop_probability = drop_probability
-        self._drop_rng = random.Random(drop_seed)
+        self._drop_seed = drop_seed
+        self._drop_rngs: "dict[tuple[str, str], random.Random]" = {}
+        self._drop_lock = threading.Lock()
+        self._pooled = pooled
         self._directory: "dict[str, tuple[str, int]]" = {}
         self._listeners: "dict[str, _Listener]" = {}
+        self._channels: "dict[str, _PeerChannel]" = {}
         self._lock = threading.Lock()
         # Retransmission pacing and timeouts are interval arithmetic, so
         # the network clock must not step backwards under NTP corrections.
         self._clock = MonotonicClock()
+        self._timers = _TimerWheel()
         self._closed = False
+
+    @property
+    def pooled(self) -> bool:
+        return self._pooled
 
     def add_remote_party(self, party_id: str, host: str, port: int) -> None:
         """Record the address of a party hosted by another process."""
@@ -65,7 +103,13 @@ class TcpNetwork(Network):
             raise TransportError(f"no known address for party {party_id!r}")
         return address
 
-    def register(self, party_id: str, handler: MessageHandler) -> None:
+    def register(self, party_id: str, handler: MessageHandler,
+                 port: int = 0) -> None:
+        """Start listening for *party_id*; ``port=0`` picks an ephemeral one.
+
+        A fixed *port* lets a restarted process resume the address its
+        peers already hold, so their pooled connections can reconnect.
+        """
         with self._lock:
             if self._closed:
                 raise TransportError("network is closed")
@@ -73,23 +117,33 @@ class TcpNetwork(Network):
             if existing is not None:
                 existing.handler = handler
                 return
-            listener = _Listener(self._host, handler)
+            listener = _Listener(self._host, handler, port=port)
             listener.start()
             self._listeners[party_id] = listener
             self._directory[party_id] = (self._host, listener.port)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
 
     def send(self, envelope: Envelope) -> None:
         try:
             host, port = self.address_of(envelope.recipient)
         except TransportError:
             return  # unknown party: drop, retransmission may find it later
-        if (self._drop_probability > 0.0
-                and self._drop_rng.random() < self._drop_probability):
+        if self._should_drop(envelope):
             if self._obs.enabled:
                 self._obs.raw_send(envelope.sender, envelope.recipient,
                                    0, ok=False)
             return  # injected loss: the reliable layer retransmits
         line = canonical_bytes(envelope.to_dict()) + b"\n"
+        if self._pooled:
+            try:
+                channel = self._channel_for(envelope.recipient)
+            except TransportError:
+                return  # network closed concurrently: best-effort drop
+            channel.enqueue(envelope.sender, line)
+            return
         try:
             with socket.create_connection((host, port), timeout=self._connect_timeout) as conn:
                 conn.sendall(line)
@@ -102,11 +156,42 @@ class TcpNetwork(Network):
             self._obs.raw_send(envelope.sender, envelope.recipient,
                                len(line), ok=True)
 
+    def _should_drop(self, envelope: Envelope) -> bool:
+        if self._drop_probability <= 0.0:
+            return False
+        link = (envelope.sender, envelope.recipient)
+        with self._drop_lock:
+            rng = self._drop_rngs.get(link)
+            if rng is None:
+                # String seeding is hash-randomisation-proof, so the same
+                # drop_seed reproduces the same per-link pattern across
+                # processes and thread interleavings.
+                rng = random.Random(
+                    f"{self._drop_seed}|{envelope.sender}->{envelope.recipient}"
+                )
+                self._drop_rngs[link] = rng
+            return rng.random() < self._drop_probability
+
+    def _channel_for(self, recipient: str) -> "_PeerChannel":
+        with self._lock:
+            if self._closed:
+                raise TransportError("network is closed")
+            channel = self._channels.get(recipient)
+            if channel is None:
+                channel = _PeerChannel(self, recipient)
+                self._channels[recipient] = channel
+            return channel
+
+    # ------------------------------------------------------------------
+    # timers / lifecycle
+    # ------------------------------------------------------------------
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
-        timer = threading.Timer(delay, callback)
-        timer.daemon = True
-        timer.start()
-        return TimerHandle(timer.cancel)
+        # One shared timer heap instead of a threading.Timer (= one OS
+        # thread) per call: the reliable layer arms a retransmit timer on
+        # *every* send and cancels almost all of them, so arming must cost
+        # a heap push, not a thread spawn.
+        return self._timers.schedule(delay, callback)
 
     def now(self) -> float:
         return self._clock.now()
@@ -116,22 +201,239 @@ class TcpNetwork(Network):
             self._closed = True
             listeners = list(self._listeners.values())
             self._listeners.clear()
+            channels = list(self._channels.values())
+            self._channels.clear()
+        self._timers.stop()
+        for channel in channels:
+            channel.stop()
         for listener in listeners:
             listener.stop()
+
+
+class _TimerWheel:
+    """Shared one-thread timer service backed by a heap.
+
+    ``schedule`` is a heap push; cancellation flips a flag and the entry
+    is discarded when it surfaces.  Due callbacks run on a short-lived
+    worker thread (not the dispatcher) so a callback that blocks — a
+    retransmission over a dead per-message connection sits in ``connect``
+    for its full timeout — cannot delay other timers, matching the old
+    one-thread-per-``threading.Timer`` semantics.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._heap: "list[tuple[float, int, _TimerEntry]]" = []
+        self._tie = itertools.count()
+        self._stopped = False
+        self._thread: "Optional[threading.Thread]" = None
+
+    def schedule(self, delay: float,
+                 callback: Callable[[], None]) -> TimerHandle:
+        entry = _TimerEntry(callback)
+        deadline = time.monotonic() + max(0.0, delay)
+        with self._cond:
+            if self._stopped:
+                return TimerHandle(lambda: None)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._dispatch_loop, daemon=True,
+                    name="tcp-timers",
+                )
+                self._thread.start()
+            earlier = not self._heap or deadline < self._heap[0][0]
+            heapq.heappush(self._heap, (deadline, next(self._tie), entry))
+            if earlier:
+                self._cond.notify()
+        return TimerHandle(entry.cancel)
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopped = True
+            self._heap.clear()
+            self._cond.notify()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            due: "list[_TimerEntry]" = []
+            with self._cond:
+                while True:
+                    if self._stopped:
+                        return
+                    now = time.monotonic()
+                    while self._heap and self._heap[0][0] <= now:
+                        entry = heapq.heappop(self._heap)[2]
+                        if not entry.cancelled:
+                            due.append(entry)
+                    if due:
+                        break
+                    if self._heap:
+                        self._cond.wait(self._heap[0][0] - now)
+                    else:
+                        self._cond.wait()
+            threading.Thread(target=self._fire, args=(due,),
+                             daemon=True).start()
+
+    @staticmethod
+    def _fire(entries: "list[_TimerEntry]") -> None:
+        for entry in entries:
+            if entry.cancelled:
+                continue
+            try:
+                entry.callback()
+            except Exception:  # noqa: BLE001 - a timer bug must not kill the wheel
+                pass
+
+
+class _TimerEntry:
+    __slots__ = ("callback", "cancelled")
+
+    def __init__(self, callback: Callable[[], None]) -> None:
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class _PeerChannel:
+    """One pooled connection to a remote peer, fed by a writer thread.
+
+    Senders only touch the queue; all socket work (connect, batched
+    ``sendall``, teardown on error) happens on the writer thread, so a
+    slow or dead peer never blocks protocol threads.
+    """
+
+    def __init__(self, network: TcpNetwork, recipient: str) -> None:
+        self._network = network
+        self._recipient = recipient
+        self._queue: "collections.deque[tuple[str, bytes]]" = collections.deque()
+        self._cond = threading.Condition()
+        self._sock: "Optional[socket.socket]" = None
+        self._ever_connected = False
+        self._next_attempt = 0.0
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._writer_loop, daemon=True,
+            name=f"tcp-writer-{recipient}",
+        )
+        self._thread.start()
+
+    def enqueue(self, sender: str, line: bytes) -> None:
+        with self._cond:
+            if self._stopped:
+                return
+            self._queue.append((sender, line))
+            self._cond.notify()
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopped = True
+            self._queue.clear()
+            self._cond.notify()
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._thread.join(timeout=1.0)
+
+    # -- writer thread --------------------------------------------------
+
+    def _writer_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopped:
+                    self._cond.wait()
+                if self._stopped:
+                    return
+                batch = list(self._queue)
+                self._queue.clear()
+            self._flush(batch)
+
+    def _flush(self, batch: "list[tuple[str, bytes]]") -> None:
+        obs = self._network._obs
+        first_sender = batch[0][0]
+        if obs.enabled and len(batch) > 1:
+            obs.frames_coalesced(first_sender, self._recipient, len(batch))
+        sock = self._sock
+        if sock is None:
+            sock = self._connect(first_sender)
+            if sock is None:
+                self._drop_batch(batch)
+                return
+        elif obs.enabled:
+            obs.connection_reused(first_sender, self._recipient)
+        try:
+            sock.sendall(b"".join(line for _, line in batch))
+        except OSError:
+            # Broken connection: this batch is lost (the reliable layer
+            # retransmits); the next batch triggers a reconnect.
+            self._teardown()
+            self._drop_batch(batch)
+            return
+        if obs.enabled:
+            for sender, line in batch:
+                obs.raw_send(sender, self._recipient, len(line), ok=True)
+
+    def _connect(self, sender: str) -> "Optional[socket.socket]":
+        network = self._network
+        now = network.now()
+        if now < self._next_attempt:
+            return None
+        try:
+            host, port = network.address_of(self._recipient)
+            sock = socket.create_connection(
+                (host, port), timeout=network._connect_timeout
+            )
+        except (TransportError, OSError):
+            self._next_attempt = network.now() + RECONNECT_BACKOFF
+            if network._obs.enabled:
+                network._obs.connection_failed(sender, self._recipient)
+            return None
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        if network._obs.enabled:
+            network._obs.connection_opened(sender, self._recipient,
+                                           reconnect=self._ever_connected)
+        self._ever_connected = True
+        return sock
+
+    def _teardown(self) -> None:
+        sock = self._sock
+        self._sock = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _drop_batch(self, batch: "list[tuple[str, bytes]]") -> None:
+        if self._network._obs.enabled:
+            for sender, line in batch:
+                self._network._obs.raw_send(sender, self._recipient,
+                                            len(line), ok=False)
 
 
 class _Listener:
     """Accept-loop thread delivering decoded envelopes to a handler."""
 
-    def __init__(self, host: str, handler: MessageHandler) -> None:
+    def __init__(self, host: str, handler: MessageHandler,
+                 port: int = 0) -> None:
         self.handler = handler
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._server.bind((host, 0))
+        self._server.bind((host, port))
         self._server.listen(64)
         self.port = self._server.getsockname()[1]
         self._running = False
         self._thread: "Optional[threading.Thread]" = None
+        # Live accepted connections: pooled peers hold theirs open
+        # indefinitely, so stop() must close them explicitly or they keep
+        # the port busy and a restarted listener cannot rebind it.
+        self._conns: "set[socket.socket]" = set()
+        self._conns_lock = threading.Lock()
 
     def start(self) -> None:
         self._running = True
@@ -140,10 +442,23 @@ class _Listener:
 
     def stop(self) -> None:
         self._running = False
-        try:
-            self._server.close()
-        except OSError:
-            pass
+        # shutdown() before close(): merely closing the fd does not wake
+        # threads blocked in accept()/recv(), and their in-kernel
+        # reference would keep the port busy, so a restarted listener
+        # could not rebind it.
+        for sock in [self._server] + self._drain_conns():
+            for call in (lambda: sock.shutdown(socket.SHUT_RDWR),
+                         sock.close):
+                try:
+                    call()
+                except OSError:
+                    pass
+
+    def _drain_conns(self) -> "list[socket.socket]":
+        with self._conns_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        return conns
 
     def _accept_loop(self) -> None:
         while self._running:
@@ -151,6 +466,11 @@ class _Listener:
                 conn, _ = self._server.accept()
             except OSError:
                 return
+            with self._conns_lock:
+                if not self._running:
+                    conn.close()
+                    continue
+                self._conns.add(conn)
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
@@ -160,7 +480,9 @@ class _Listener:
         buffer = b""
         try:
             with conn:
-                conn.settimeout(5.0)
+                # Pooled peers hold their connection open indefinitely and
+                # may be idle between coordination runs, so reads must not
+                # time out; a vanished peer surfaces as EOF/ECONNRESET.
                 while True:
                     chunk = conn.recv(65536)
                     if not chunk:
@@ -174,6 +496,9 @@ class _Listener:
                             self._dispatch(line)
         except OSError:
             return
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
 
     def _dispatch(self, line: bytes) -> None:
         try:

@@ -39,6 +39,19 @@ class TestRsaRaw:
     def test_keypair_modulus_bits(self):
         assert KEYPAIR.private_key.modulus.bit_length() == 512
 
+    def test_crt_parameters_precomputed_at_construction(self):
+        # Signing is the per-message hot path: dp/dq/q_inv must be
+        # derived once, not per _crt_power call, and must be consistent.
+        from repro.crypto.numbers import mod_inverse
+
+        key = KEYPAIR.private_key
+        assert key.crt_dp == key.private_exponent % (key.prime_p - 1)
+        assert key.crt_dq == key.private_exponent % (key.prime_q - 1)
+        assert key.crt_q_inv == mod_inverse(key.prime_q, key.prime_p)
+        message = 98765432109876543210
+        assert pow(rsa_sign_int(key, message), key.public_exponent,
+                   key.modulus) == message
+
     def test_keygen_rejects_tiny_modulus(self):
         with pytest.raises(KeyGenerationError):
             generate_keypair(64, RNG)
