@@ -43,7 +43,7 @@ from repro.core import (
     wrap_object,
 )
 from repro.errors import ValidationFailed
-from repro.protocol import Decision
+from repro.protocol import Decision, PipelineTicket, ProposalPipeline
 
 __version__ = "1.0.0"
 
@@ -63,6 +63,8 @@ __all__ = [
     "two_party_community",
     "wrap_object",
     "Decision",
+    "PipelineTicket",
+    "ProposalPipeline",
     "ValidationFailed",
     "__version__",
 ]

@@ -81,6 +81,37 @@ def validate_transition(current: dict, proposed: dict) -> "tuple[bool, str]":
     return True, ""
 
 
+#: Update-mode operations understood by :meth:`AuctionObject.merge_update`.
+AUCTION_OPS = ("bid", "close")
+
+
+def apply_auction_op(state: dict, update: Any) -> dict:
+    """Pure ``state after op`` for one auction operation dict.
+
+    Deterministic on every replica; bad operations raise
+    :class:`RuleViolation`, which becomes a veto diagnostic.  Rule
+    checking stays in :func:`validate_transition` — this only computes
+    the transition, so per-step batch validation sees each intermediate
+    state (a batch of bids must each out-bid the one before it).
+    """
+    if not isinstance(update, dict) or update.get("op") not in AUCTION_OPS:
+        raise RuleViolation(f"unknown auction operation: {update!r}")
+    merged = dict(state)
+    if update["op"] == "bid":
+        merged["highest"] = {"bidder": update.get("bidder"),
+                             "amount": update.get("amount"),
+                             "house": update.get("house")}
+        merged["bids"] = merged.get("bids", 0) + 1
+        return merged
+    merged["open"] = False
+    highest = merged.get("highest")
+    merged["winner"] = (
+        {"bidder": highest["bidder"], "amount": highest["amount"]}
+        if highest else None
+    )
+    return merged
+
+
 class AuctionObject(B2BObject):
     """The shared auction state with house-symmetric validation."""
 
@@ -111,6 +142,9 @@ class AuctionObject(B2BObject):
                     "a house may only submit bids placed through itself"
                 )
         return Decision.accept()
+
+    def merge_update(self, state: Any, update: Any) -> Any:
+        return apply_auction_op(state or {}, update)
 
     # -- local accessors --------------------------------------------------
 
@@ -168,3 +202,34 @@ class AuctionHouse:
         )
         self.auction.apply_state(state)
         return controller.leave()
+
+    # pipelined (batched) submission -----------------------------------------
+
+    def submit_bid(self, bidder: str, amount: int):
+        """Queue a client's bid through the proposal pipeline.
+
+        Returns a :class:`~repro.protocol.pipeline.PipelineTicket`.
+        Concurrent bids from several houses contend for the same
+        auction; the pipeline coalesces this house's queued bids into
+        batched runs and retries benign busy vetoes.  A losing (too low)
+        bid settles with ``valid=False`` and the rejection diagnostics.
+        """
+        if not isinstance(amount, int) or amount <= 0:
+            raise RuleViolation("bid amount must be a positive integer")
+        controller = self.controller
+        return controller.node.submit_update(
+            controller.object_name,
+            {"op": "bid", "bidder": bidder, "amount": amount,
+             "house": self.house_id},
+        )
+
+    def submit_close(self):
+        """Queue the auction close through the proposal pipeline."""
+        controller = self.controller
+        return controller.node.submit_update(controller.object_name,
+                                             {"op": "close"})
+
+    def wait(self, ticket, timeout: "float | None" = None) -> bool:
+        """Block until a submitted operation settles; True iff agreed."""
+        self.controller.node.wait_for_pipeline(ticket, timeout)
+        return ticket.valid

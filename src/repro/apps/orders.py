@@ -39,6 +39,48 @@ def empty_order() -> dict:
     return {"items": {}, "delivery": None}
 
 
+#: Update-mode operations understood by :meth:`OrderObject.merge_update`.
+ORDER_OPS = ("add_item", "change_quantity", "price_item", "approve_item",
+             "commit_delivery")
+
+
+def apply_order_op(state: dict, update: Any) -> dict:
+    """Pure ``state after op`` for one order operation dict.
+
+    Shared by :meth:`OrderObject.merge_update` on every replica, so it
+    must be deterministic; bad operations raise :class:`RuleViolation`
+    which the coordination engine turns into a veto diagnostic.
+    """
+    if not isinstance(update, dict) or update.get("op") not in ORDER_OPS:
+        raise RuleViolation(f"unknown order operation: {update!r}")
+    merged = {
+        "items": {name: dict(item)
+                  for name, item in (state.get("items") or {}).items()},
+        "delivery": (dict(state["delivery"])
+                     if state.get("delivery") else None),
+    }
+    op = update["op"]
+    if op == "commit_delivery":
+        merged["delivery"] = {"terms": update.get("terms"), "committed": True}
+        return merged
+    name = update.get("name")
+    if op == "add_item":
+        merged["items"][name] = {
+            "quantity": update.get("quantity"), "price": None,
+            "approved": False,
+        }
+        return merged
+    if name not in merged["items"]:
+        raise RuleViolation(f"order has no item {name!r}")
+    if op == "change_quantity":
+        merged["items"][name]["quantity"] = update.get("quantity")
+    elif op == "price_item":
+        merged["items"][name]["price"] = update.get("price")
+    elif op == "approve_item":
+        merged["items"][name]["approved"] = True
+    return merged
+
+
 def _normalise_item(item: Any) -> dict:
     if not isinstance(item, dict):
         raise RuleViolation("order items must be dicts")
@@ -157,6 +199,9 @@ class OrderObject(B2BObject):
                 return Decision.reject(f"item {name!r} has an invalid price")
         return Decision.accept()
 
+    def merge_update(self, state: Any, update: Any) -> Any:
+        return apply_order_op(state or empty_order(), update)
+
     # -- local accessors --------------------------------------------------
 
     def items(self) -> dict:
@@ -231,3 +276,37 @@ class OrderClient:
         def mutate(state: dict) -> None:
             state["delivery"] = {"terms": terms, "committed": True}
         return self._mutate(mutate)
+
+    # pipelined (batched) submission -----------------------------------------
+
+    def submit(self, op: dict):
+        """Queue one order operation through the proposal pipeline.
+
+        Returns a :class:`~repro.protocol.pipeline.PipelineTicket`;
+        queued operations are coalesced into batched coordination runs
+        and benign busy vetoes are retried automatically.
+        """
+        controller = self.controller
+        return controller.node.submit_update(controller.object_name, op)
+
+    def submit_add_item(self, name: str, quantity: int):
+        return self.submit({"op": "add_item", "name": name,
+                            "quantity": quantity})
+
+    def submit_change_quantity(self, name: str, quantity: int):
+        return self.submit({"op": "change_quantity", "name": name,
+                            "quantity": quantity})
+
+    def submit_price_item(self, name: str, price: int):
+        return self.submit({"op": "price_item", "name": name, "price": price})
+
+    def submit_approve_item(self, name: str):
+        return self.submit({"op": "approve_item", "name": name})
+
+    def submit_commit_delivery(self, terms: str):
+        return self.submit({"op": "commit_delivery", "terms": terms})
+
+    def wait(self, ticket, timeout: "float | None" = None) -> bool:
+        """Block until a submitted operation settles; True iff agreed."""
+        self.controller.node.wait_for_pipeline(ticket, timeout)
+        return ticket.valid

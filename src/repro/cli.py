@@ -320,6 +320,35 @@ def _run_forensic_game(seed: int, latency: float, drop: float,
     return community, objects, rejected, obs, trace_paths
 
 
+def _run_pipeline_burst(seed: int, updates: int, registry) -> None:
+    """Contended pipelined writes: feeds the pipeline report section.
+
+    Two proposers submit *updates* each through their write pipelines
+    against a shared ledger object, so the report shows batch sizes,
+    queue depth and the benign busy retries that contention produces
+    (no misbehaviour evidence — benign vetoes are not misbehaviour).
+    """
+    from repro.core.community import Community
+    from repro.core.object import DictB2BObject
+    from repro.obs import RecordingInstrumentation
+
+    obs = RecordingInstrumentation(registry=registry)
+    names = ["Cross", "Nought", "Witness"]
+    community = Community(names, seed=seed, obs=obs)
+    replicas = {name: DictB2BObject() for name in names}
+    community.found_object("ledger", replicas)
+    tickets = []
+    for index in range(updates):
+        for name in ("Cross", "Nought"):
+            tickets.append(community.node(name).submit_update(
+                "ledger", {f"{name.lower()}-{index}": index}
+            ))
+    for ticket in tickets:
+        community.node("Cross").wait_for_pipeline(ticket)
+    community.settle()
+    community.close()
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     """Instrumented 3-party Tic-Tac-Toe run + per-phase breakdown report."""
     community, objects, rejected, obs, trace_paths = _run_forensic_game(
@@ -328,6 +357,9 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         tcp_mode=args.tcp_mode,
         export_dir=args.export_dir, trace_out=args.trace_out,
     )
+    if args.pipeline_updates > 0:
+        _run_pipeline_burst(seed=args.seed, updates=args.pipeline_updates,
+                            registry=obs.registry)
 
     game = objects["Witness"]
     board = game.board
@@ -340,6 +372,9 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         print("  " + " ".join(cell or "." for cell in board[row * 3:row * 3 + 3]))
     print(f"  winner: {game.winner or '(none)'}  "
           f"vetoed moves: {rejected}")
+    if args.pipeline_updates > 0:
+        print(f"  pipeline burst: 2 proposers x {args.pipeline_updates} "
+              f"updates through the batched write pipeline")
     if args.trace_out:
         print(f"  trace records written to {args.trace_out}")
     if args.export_dir:
@@ -533,6 +568,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write per-party traces, evidence logs and "
                                  "keys.json under this directory "
                                  "(the input set for `repro audit`)")
+    obs_report.add_argument("--pipeline-updates", type=int, default=8,
+                            help="updates per proposer in the contended "
+                                 "pipeline burst that follows the game "
+                                 "(feeds the proposal-pipeline section; "
+                                 "0 disables)")
     obs_report.set_defaults(func=_cmd_obs_report)
 
     audit = sub.add_parser(

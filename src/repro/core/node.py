@@ -37,6 +37,8 @@ from repro.protocol.events import (
 from repro.protocol.group import ROTATING
 from repro.protocol.membership import CertificateResolver
 from repro.protocol.party import ProtocolParty
+from repro.protocol.pipeline import PipelineTicket, ProposalPipeline
+from repro.transport.base import TimerHandle
 from repro.transport.reliable import ReliableEndpoint
 
 EventListener = Callable[[Event], None]
@@ -68,6 +70,8 @@ class OrganisationNode:
                                else ThreadedRuntime.DEFAULT_TIMEOUT)
         self.default_timeout = default_timeout
         self._tickets: "dict[str, CoordinationTicket]" = {}
+        self._pipelines: "dict[str, ProposalPipeline]" = {}
+        self._pipeline_timers: "dict[str, TimerHandle]" = {}
         self._lock = threading.RLock()
         self._join_objects: "dict[str, B2BObject]" = {}
         self._join_modes: "dict[str, str]" = {}
@@ -200,6 +204,69 @@ class OrganisationNode:
             self._process_output(output)
             return ticket
 
+    # ------------------------------------------------------------------
+    # proposal pipeline (batched coordination rounds)
+    # ------------------------------------------------------------------
+
+    def pipeline(self, object_name: str, **options: Any) -> ProposalPipeline:
+        """The write pipeline for *object_name*, created on first use.
+
+        *options* (``max_batch``, ``max_busy_retries``, ...) configure the
+        pipeline on creation and are ignored once it exists.
+        """
+        with self._lock:
+            pipe = self._pipelines.get(object_name)
+            if pipe is None:
+                session = self.party.session(object_name)
+                pipe = ProposalPipeline(session.state, **options)
+                self._pipelines[object_name] = pipe
+            return pipe
+
+    def submit_update(self, object_name: str, update: Any) -> PipelineTicket:
+        """Queue *update* through the proposal pipeline.
+
+        Unlike :meth:`propagate_update` this never blocks and never
+        raises for concurrency: while a run is in flight the update
+        queues, and once the engine is free every queued update is
+        coalesced into one batched proposal.  Benign busy vetoes retry
+        automatically; the ticket resolves invalid only for genuine
+        policy vetoes (or retry exhaustion).
+        """
+        with self._lock:
+            pipe = self.pipeline(object_name)
+            ticket, output = pipe.submit(update)
+            self._process_output(output)
+        self._schedule_pipeline_retry(object_name)
+        return ticket
+
+    def wait_for_pipeline(self, ticket: PipelineTicket,
+                          timeout: "float | None" = None) -> bool:
+        """Block until a pipeline ticket resolves (or *timeout* passes)."""
+        timeout = timeout if timeout is not None else self.default_timeout
+        return self.runtime.wait_until(lambda: ticket.done, timeout)
+
+    def _schedule_pipeline_retry(self, object_name: str) -> None:
+        """Arm a timer for the pipeline's next backoff wake-up, if any."""
+        with self._lock:
+            pipe = self._pipelines.get(object_name)
+            if pipe is None or object_name in self._pipeline_timers:
+                return
+            delay = pipe.retry_delay()
+            if delay is None:
+                return
+
+            def fire() -> None:
+                with self._lock:
+                    self._pipeline_timers.pop(object_name, None)
+                    if self._crashed:
+                        return
+                    self._process_output(pipe.poll())
+                self._schedule_pipeline_retry(object_name)
+
+            self._pipeline_timers[object_name] = self.runtime.network.schedule(
+                max(delay, 1e-9), fire
+            )
+
     def propagate_connect(self, object_name: str, b2b_object: B2BObject,
                           sponsor: "str | None" = None,
                           mode: str = SYNCHRONOUS,
@@ -280,6 +347,10 @@ class OrganisationNode:
         context's stores; :meth:`recover` resumes protocol participation.
         """
         self._crashed = True
+        with self._lock:
+            for handle in self._pipeline_timers.values():
+                handle.cancel()
+            self._pipeline_timers.clear()
         self.endpoint.stop()
         network = self.runtime.network
         crash = getattr(network, "crash", None)
@@ -342,6 +413,10 @@ class OrganisationNode:
         controller = self.controllers.get(object_name or "")
         if controller is not None:
             controller.on_event(event)
+        pipe = self._pipelines.get(object_name or "")
+        if pipe is not None:
+            self._process_output(pipe.on_event(event))
+            self._schedule_pipeline_retry(object_name or "")
         for listener in self.listeners:
             listener(event)
 

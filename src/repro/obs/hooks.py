@@ -92,6 +92,20 @@ class Instrumentation:
                        outcome: str) -> None:
         """A run settlement placed on the causal timeline."""
 
+    # -- proposal pipeline (protocol/pipeline.py / coordination.py) --------
+
+    def batch_proposed(self, party: str, object_name: str, run_id: str,
+                       size: int) -> None:
+        """A batched proposal left with *size* updates in one run."""
+
+    def pipeline_depth(self, party: str, object_name: str,
+                       depth: int) -> None:
+        """Current number of updates queued in a proposal pipeline."""
+
+    def pipeline_busy_retry(self, party: str, object_name: str,
+                            attempt: int) -> None:
+        """A pipeline re-queued a batch vetoed for benign contention."""
+
     # -- transport (reliable.py / tcp.py) ----------------------------------
 
     def message_sent(self, party: str, recipient: str, size: int) -> None:

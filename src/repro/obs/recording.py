@@ -90,6 +90,23 @@ class RecordingInstrumentation(Instrumentation):
                           run_id=run_id, trace_id=trace_id, lamport=lamport,
                           role=role, outcome=outcome)
 
+    # -- proposal pipeline -------------------------------------------------
+
+    def batch_proposed(self, party, object_name, run_id, size):
+        self.registry.counter("pipeline.batches").inc()
+        self.registry.counter("pipeline.batched_updates").inc(size)
+        self.registry.histogram("pipeline.batch_size").observe(size)
+        self.tracer.event("pipeline.batch", party=party, object=object_name,
+                          run_id=run_id, size=size)
+
+    def pipeline_depth(self, party, object_name, depth):
+        self.registry.gauge("pipeline.depth").set(depth)
+
+    def pipeline_busy_retry(self, party, object_name, attempt):
+        self.registry.counter("pipeline.busy_retries").inc()
+        self.tracer.event("pipeline.retry", party=party, object=object_name,
+                          attempt=attempt)
+
     # -- transport ---------------------------------------------------------
 
     def message_sent(self, party, recipient, size):

@@ -49,6 +49,7 @@ def render_report(registry: MetricsRegistry) -> str:
         _transport_section(registry),
         _storage_section(registry),
         _run_section(registry),
+        _pipeline_section(registry),
     ]
     return "\n\n".join(section for section in sections if section)
 
@@ -152,3 +153,21 @@ def _run_section(registry: MetricsRegistry) -> str:
         ["run time p95 (s)", run["p95"]],
     ]
     return "== coordination runs ==\n" + format_table(["metric", "value"], rows)
+
+
+def _pipeline_section(registry: MetricsRegistry) -> str:
+    batches = registry.counter_value("pipeline.batches")
+    retries = registry.counter_value("pipeline.busy_retries")
+    depth = registry.gauge("pipeline.depth")
+    if batches == 0 and retries == 0 and depth.high_water == 0:
+        return ""
+    size = registry.histogram("pipeline.batch_size").summary()
+    rows = [
+        ["batched proposals", batches],
+        ["updates batched", registry.counter_value("pipeline.batched_updates")],
+        ["batch size p50", size["p50"]],
+        ["batch size max", size["max"]],
+        ["busy retries", retries],
+        ["max pipeline depth", depth.high_water],
+    ]
+    return "== proposal pipeline ==\n" + format_table(["metric", "value"], rows)

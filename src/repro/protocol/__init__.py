@@ -53,6 +53,11 @@ from repro.protocol.ids import (
 )
 from repro.protocol.membership import JoinClient, MembershipEngine, MembershipRun
 from repro.protocol.party import ObjectSession, ProtocolParty, extract_object_name
+from repro.protocol.pipeline import (
+    PipelineTicket,
+    ProposalPipeline,
+    is_transient_rejection,
+)
 from repro.protocol.validation import (
     ACCEPT,
     REJECT,
@@ -104,6 +109,9 @@ __all__ = [
     "ObjectSession",
     "ProtocolParty",
     "extract_object_name",
+    "PipelineTicket",
+    "ProposalPipeline",
+    "is_transient_rejection",
     "ACCEPT",
     "REJECT",
     "AcceptAllValidator",

@@ -24,6 +24,7 @@ recovery and logged as non-repudiation evidence before it is acted on.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -52,6 +53,7 @@ from repro.protocol.messages import (
     COMMIT,
     MODE_OVERWRITE,
     MODE_UPDATE,
+    MODE_UPDATE_BATCH,
     PROPOSE,
     RESPOND,
     SignedPart,
@@ -61,6 +63,7 @@ from repro.protocol.messages import (
     propose_message,
     respond_message,
     responses_unanimous,
+    UPDATE_MODES,
     verify_auth_preimage,
 )
 from repro.protocol.validation import Decision, StateMerger, Validator
@@ -121,6 +124,15 @@ class RunState:
 class StateCoordinationEngine(EngineBase):
     """One party's state-coordination engine for one shared object."""
 
+    #: Replay-protection window (invariant 4): how many recently seen
+    #: proposal tuples are remembered.  A long-lived object sees one tuple
+    #: per proposal, so the set must not grow without bound; the window
+    #: mirrors the reliable layer's dedup window.  Evicting an old tuple
+    #: is safe because invariant 3 independently rejects any proposal
+    #: whose sequence number does not exceed the agreed one — the window
+    #: only needs to cover tuples that could still pass that check.
+    seen_window: int = 4096
+
     def __init__(self, ctx: PartyContext, group: GroupView,
                  initial_state: Any,
                  validator: "Validator | None" = None,
@@ -142,6 +154,7 @@ class StateCoordinationEngine(EngineBase):
 
         self.highest_seq_seen: int = self.agreed_sid.seq
         self._seen_proposal_keys: "set[bytes]" = set()
+        self._seen_proposal_order: "deque[bytes]" = deque()
         self._runs: "dict[str, RunState]" = {}
         self._active_run_id: "Optional[str]" = None
         # Membership engine sets this while a membership change is being
@@ -200,6 +213,25 @@ class StateCoordinationEngine(EngineBase):
         new_state = freeze(self.merger.apply(self.current_state, update))
         return self._propose(MODE_UPDATE, body=update, new_state=new_state)
 
+    def propose_update_batch(self, updates: "list[Any]") -> "tuple[str, Output]":
+        """Initiate coordination of an ordered batch of updates.
+
+        The batch is one protocol run: the m1 body is the ordered list of
+        update values, applied left-to-right through the merger as a
+        single state transition with one state identifier and one
+        signature per phase.  Recipients recompute every intermediate
+        state and validate each step, so a batch is exactly as auditable
+        as the equivalent sequence of single-update runs at a third of
+        the messages per update (amortised).
+        """
+        if not updates:
+            raise ValueError("an update batch must contain at least one update")
+        body = [freeze(update) for update in updates]
+        new_state = self.current_state
+        for update in body:
+            new_state = freeze(self.merger.apply(new_state, update))
+        return self._propose(MODE_UPDATE_BATCH, body=body, new_state=new_state)
+
     def _propose(self, mode: str, body: Any, new_state: Any) -> "tuple[str, Output]":
         if self.busy:
             raise ConcurrencyError(
@@ -212,7 +244,7 @@ class StateCoordinationEngine(EngineBase):
         output = Output()
         new_sid, _nonce = new_state_id(self.highest_seq_seen, new_state, self.ctx.rng)
         auth = self.ctx.rng.random_bytes(AUTH_BYTES)
-        update_hash = hash_value(body) if mode == MODE_UPDATE else None
+        update_hash = hash_value(body) if mode in UPDATE_MODES else None
         proposal_payload = build_proposal(
             proposer=self.party_id,
             object_name=self.object_name,
@@ -246,6 +278,9 @@ class StateCoordinationEngine(EngineBase):
         if self.ctx.obs.enabled:
             self.ctx.obs.run_started(self.party_id, self.object_name,
                                      run_id, ROLE_PROPOSER, mode)
+            if mode == MODE_UPDATE_BATCH:
+                self.ctx.obs.batch_proposed(self.party_id, self.object_name,
+                                            run_id, len(body))
 
         # Invariant 2: the proposer's current state is the proposed state.
         self.current_state = new_state
@@ -470,17 +505,58 @@ class StateCoordinationEngine(EngineBase):
         if self._proposal_key(new_sid) in self._seen_proposal_keys:
             diagnostics.append("invariant-4: proposal tuple replayed")
 
+        # While this replica is mid-transition (busy, or lagging behind a
+        # commit in flight) its current state is not the agreed baseline
+        # the proposer computed against, so re-applying an update here
+        # would fail for reasons that are pure contention, not evidence
+        # of a bad proposal.  The proposal is already rejected with the
+        # transient diagnostics above; skip the meaningless recompute so
+        # the veto stays recognisably benign (and retryable).
+        contended = any(
+            diag.startswith("busy:") or diag.startswith("invariant-1:")
+            for diag in diagnostics
+        )
+
         new_state: Any = None
+        # For batches: the recomputed (pre_state, update, post_state) of
+        # every step, so application validation can judge each step
+        # against the state it actually transforms.
+        batch_steps: "list[tuple[Any, Any, Any]]" = []
         if mode == MODE_OVERWRITE:
             if not new_sid.matches_state(body):
                 diagnostics.append("body hash does not match proposed state identifier")
             else:
                 new_state = freeze(body)
+        elif mode == MODE_UPDATE_BATCH:
+            update_hash = payload.get("update_hash")
+            if not isinstance(body, list) or not body:
+                diagnostics.append("batch body must be a non-empty list of updates")
+            elif hash_value(body) != update_hash:
+                diagnostics.append("update hash does not match received batch")
+            elif not contended:
+                state = self.current_state
+                for index, update in enumerate(body):
+                    try:
+                        candidate = freeze(self.merger.apply(state, update))
+                    except Exception as exc:  # noqa: BLE001 - app merge may fail
+                        diagnostics.append(
+                            f"batch[{index}]: update could not be applied: {exc}"
+                        )
+                        break
+                    batch_steps.append((state, update, candidate))
+                    state = candidate
+                else:
+                    if not new_sid.matches_state(state):
+                        diagnostics.append(
+                            "applying the batch does not yield the claimed new state"
+                        )
+                    else:
+                        new_state = state
         elif mode == MODE_UPDATE:
             update_hash = payload.get("update_hash")
             if hash_value(body) != update_hash:
                 diagnostics.append("update hash does not match received update")
-            else:
+            elif not contended:
                 try:
                     candidate = freeze(self.merger.apply(self.current_state, body))
                 except Exception as exc:  # noqa: BLE001 - app merge may fail
@@ -504,8 +580,21 @@ class StateCoordinationEngine(EngineBase):
         if diagnostics:
             return Decision.reject(*diagnostics), new_state
 
-        # Application-specific validation upcall.
-        if mode == MODE_UPDATE:
+        # Application-specific validation upcall.  A batch is validated
+        # step by step against the recomputed intermediate states: every
+        # step must pass the same policy a single-update run would face.
+        if mode == MODE_UPDATE_BATCH:
+            step_diagnostics: "list[str]" = []
+            for index, (pre_state, update, post_state) in enumerate(batch_steps):
+                step = self.validator.validate_update(
+                    update, post_state, pre_state, proposer
+                )
+                if not step.accepted:
+                    for diag in step.diagnostics or ("rejected",):
+                        step_diagnostics.append(f"batch[{index}]: {diag}")
+            decision = (Decision.reject(*step_diagnostics)
+                        if step_diagnostics else Decision.accept())
+        elif mode == MODE_UPDATE:
             decision = self.validator.validate_update(
                 body, new_state, self.current_state, proposer
             )
@@ -981,7 +1070,7 @@ class StateCoordinationEngine(EngineBase):
                 # tuple from the recovered seen-set for this one handling.
                 try:
                     sid = StateId.from_dict(payload["new_sid"])
-                    self._seen_proposal_keys.discard(self._proposal_key(sid))
+                    self._forget_proposal_seen(sid)
                 except (KeyError, TypeError, ValueError):
                     pass
                 output.merge(self.handle(record["peer"], record["message"]))
@@ -1084,6 +1173,23 @@ class StateCoordinationEngine(EngineBase):
         return hash_value(["proposal-key", sid.seq, sid.rand_hash])
 
     def _note_proposal_seen(self, sid: StateId) -> None:
-        self._seen_proposal_keys.add(self._proposal_key(sid))
+        key = self._proposal_key(sid)
+        if key not in self._seen_proposal_keys:
+            self._seen_proposal_keys.add(key)
+            self._seen_proposal_order.append(key)
+            while len(self._seen_proposal_order) > self.seen_window:
+                self._seen_proposal_keys.discard(
+                    self._seen_proposal_order.popleft()
+                )
         if sid.seq > self.highest_seq_seen:
             self.highest_seq_seen = sid.seq
+
+    def _forget_proposal_seen(self, sid: StateId) -> None:
+        """Lift a tuple from the replay window (recovery re-drive only)."""
+        key = self._proposal_key(sid)
+        if key in self._seen_proposal_keys:
+            self._seen_proposal_keys.discard(key)
+            try:
+                self._seen_proposal_order.remove(key)
+            except ValueError:
+                pass

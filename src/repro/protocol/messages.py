@@ -56,6 +56,16 @@ SPONSOR_INFO = "sponsor_info"
 
 MODE_OVERWRITE = "overwrite"
 MODE_UPDATE = "update"
+# Batched update mode: the m1 body is an ordered *list* of update values
+# applied left-to-right as one state transition.  Everything else about
+# the run is unchanged — one state identifier, one signed proposal, one
+# signature per phase — so a batch amortises the 3(n-1) message cost and
+# the RSA signing cost over every update it carries.
+MODE_UPDATE_BATCH = "update_batch"
+
+#: Modes whose m1 body is an update (single or batched) rather than the
+#: full new state; these proposals carry ``H(body)`` as ``update_hash``.
+UPDATE_MODES = (MODE_UPDATE, MODE_UPDATE_BATCH)
 
 # Cross-party causal tracing (repro.obs.trace).  The context rides as a
 # top-level field of the wire message, *outside* every SignedPart, so
@@ -159,7 +169,7 @@ def build_proposal(proposer: str, object_name: str, gid: GroupId,
     ``T_agreed -> T_new`` and carries ``H(auth)``, the proposer's
     commitment to the random authenticator of the group's decision.
     """
-    if mode not in (MODE_OVERWRITE, MODE_UPDATE):
+    if mode not in (MODE_OVERWRITE,) + UPDATE_MODES:
         raise ValueError(f"unknown proposal mode {mode!r}")
     payload = {
         "type": "state-proposal",
@@ -171,7 +181,7 @@ def build_proposal(proposer: str, object_name: str, gid: GroupId,
         "auth_commitment": auth_commitment,
         "mode": mode,
     }
-    if mode == MODE_UPDATE:
+    if mode in UPDATE_MODES:
         if update_hash is None:
             raise ValueError("update mode requires an update hash")
         payload["update_hash"] = update_hash

@@ -1,0 +1,239 @@
+"""The proposer-side write pipeline with batched coordination rounds.
+
+The base protocol costs 3(n-1) signed messages per state change and the
+engine admits one run in flight: a second local proposal raises
+:class:`~repro.errors.ConcurrencyError` and responders veto overlapping
+proposals with a benign ``"busy:"`` diagnostic.  Under write contention
+throughput therefore collapses to one update per round trip, and the
+benign vetoes leak to the application as failures.
+
+:class:`ProposalPipeline` sits between the application and one
+:class:`~repro.protocol.coordination.StateCoordinationEngine` and fixes
+both problems without touching the protocol's evidence semantics:
+
+* **Queueing** — :meth:`submit` never raises for concurrency.  While a
+  run is in flight the update waits in a local queue; the caller gets a
+  :class:`PipelineTicket` that resolves when its update is agreed (or
+  genuinely vetoed).
+* **Batching** — when the engine becomes free, every queued update is
+  coalesced into a *single* batched proposal
+  (:meth:`~repro.protocol.coordination.StateCoordinationEngine.propose_update_batch`):
+  one run, one state identifier, one signature per phase, regardless of
+  how many updates it carries.  The 3(n-1) message cost and the RSA
+  signing cost are amortised over the whole batch.
+* **Busy retry** — a run vetoed *solely* for benign contention ("busy"
+  or the invariant-1 lag that follows a commit still in flight) is
+  retried automatically with jittered exponential backoff instead of
+  surfacing failure; only genuine policy vetoes resolve tickets as
+  invalid.  Retries are visible through the obs hooks
+  (``pipeline_busy_retry``), never through the application.
+
+Like the engines, the pipeline is sans-IO and single-threaded by
+contract: callers (the :class:`~repro.core.node.OrganisationNode` holds
+its node lock) invoke :meth:`submit` / :meth:`on_event` / :meth:`poll`
+and must transmit the returned :class:`Output`.  Backoff wake-ups are
+the caller's job too — :meth:`retry_delay` says when to call
+:meth:`poll` again.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.protocol.coordination import StateCoordinationEngine
+from repro.protocol.events import Event, Output, RunCompleted
+
+#: Diagnostic prefixes that mark a veto as benign contention rather than
+#: a policy decision.  ``busy:`` — the responder had a run in flight (or
+#: a membership change); ``invariant-1:`` — a replica had not yet
+#: installed the previous commit when the proposal arrived.  Both clear
+#: on their own once in-flight traffic settles, so retrying the same
+#: update is sound.  (The same rule the synchronous controller applies.)
+TRANSIENT_MARKERS = ("busy:", "invariant-1:")
+
+
+def is_transient_rejection(diagnostics: "list[str]") -> bool:
+    """Whether a run's rejection diagnostics are all benign contention."""
+    return bool(diagnostics) and all(
+        any(marker in diag for marker in TRANSIENT_MARKERS)
+        for diag in diagnostics
+    )
+
+
+@dataclass
+class PipelineTicket:
+    """Handle on one submitted update, resolved when it settles."""
+
+    object_name: str
+    done: bool = False
+    valid: "Optional[bool]" = None
+    diagnostics: "list[str]" = field(default_factory=list)
+    #: Id of the run that settled this update (set on resolution).
+    run_id: "Optional[str]" = None
+    _signal: threading.Event = field(default_factory=threading.Event,
+                                     repr=False)
+
+    def resolve(self, valid: bool, diagnostics: "list[str]",
+                run_id: "Optional[str]" = None) -> None:
+        self.valid = valid
+        self.diagnostics = list(diagnostics)
+        self.run_id = run_id
+        self.done = True
+        self._signal.set()
+
+    def wait_signal(self, timeout: "float | None") -> bool:
+        """Real-time wait used by the threaded runtime."""
+        return self._signal.wait(timeout)
+
+
+class ProposalPipeline:
+    """Queue, coalesce and retry local updates for one shared object."""
+
+    def __init__(self, engine: StateCoordinationEngine,
+                 max_batch: int = 64,
+                 max_busy_retries: int = 20,
+                 base_retry_delay: float = 0.05,
+                 max_retry_delay: float = 1.0) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_busy_retries = max_busy_retries
+        self.base_retry_delay = base_retry_delay
+        self.max_retry_delay = max_retry_delay
+        #: Updates awaiting a run, oldest first.
+        self._queue: "list[tuple[Any, PipelineTicket]]" = []
+        #: The (run_id, entries) of the run this pipeline has in flight.
+        self._inflight: "Optional[tuple[str, list[tuple[Any, PipelineTicket]]]]" = None
+        #: Consecutive busy retries of the entries currently at the head.
+        self._attempts = 0
+        #: Total busy retries over the pipeline's lifetime.
+        self.busy_retries = 0
+        #: Earliest time the next proposal may be issued (backoff).
+        self._not_before = 0.0
+
+    # ------------------------------------------------------------------
+    # public queries
+    # ------------------------------------------------------------------
+
+    @property
+    def object_name(self) -> str:
+        return self.engine.object_name
+
+    @property
+    def depth(self) -> int:
+        """Updates queued locally (excluding any in-flight batch)."""
+        return len(self._queue)
+
+    @property
+    def inflight_run_id(self) -> "Optional[str]":
+        return self._inflight[0] if self._inflight else None
+
+    def retry_delay(self) -> "Optional[float]":
+        """Seconds until :meth:`poll` could make progress, if a timed
+        wake-up is needed.
+
+        Returns None when no timer is required: the queue is empty, a
+        run is in flight (its settlement event drives the pipeline), or
+        the engine is occupied by someone else's run (ditto).
+        """
+        if not self._queue or self._inflight is not None:
+            return None
+        if self.engine.busy or self.engine.membership_change_active:
+            return None
+        remaining = self._not_before - self.engine.ctx.clock.now()
+        return max(remaining, 0.0) if remaining > 0.0 else None
+
+    # ------------------------------------------------------------------
+    # submission and draining
+    # ------------------------------------------------------------------
+
+    def submit(self, update: Any) -> "tuple[PipelineTicket, Output]":
+        """Queue one update; propose immediately if the engine is free.
+
+        Never raises for concurrency: contention queues the update and
+        the returned ticket resolves when a run carrying it settles.
+        """
+        ticket = PipelineTicket(object_name=self.object_name)
+        self._queue.append((update, ticket))
+        self._observe_depth()
+        return ticket, self._maybe_propose()
+
+    def poll(self) -> Output:
+        """Timed wake-up: issue the next proposal if backoff expired."""
+        return self._maybe_propose()
+
+    def on_event(self, event: Event) -> Output:
+        """Feed one engine event; drains the queue on any settlement."""
+        if (isinstance(event, RunCompleted) and event.kind == "state"
+                and event.object_name == self.object_name
+                and self._inflight is not None
+                and event.run_id == self._inflight[0]):
+            self._settle_inflight(event)
+        return self._maybe_propose()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _settle_inflight(self, event: RunCompleted) -> None:
+        run_id, entries = self._inflight  # type: ignore[misc]
+        self._inflight = None
+        if event.valid:
+            self._attempts = 0
+            self._not_before = 0.0
+            for _, ticket in entries:
+                ticket.resolve(True, [], run_id)
+            return
+        if (is_transient_rejection(event.diagnostics)
+                and self._attempts < self.max_busy_retries):
+            # Benign contention: put the batch back at the head of the
+            # queue and back off before re-proposing.  The updates stay
+            # in submission order, so a later retry re-coalesces them
+            # (possibly with newer submissions appended).
+            self._attempts += 1
+            self.busy_retries += 1
+            self._queue[:0] = entries
+            self._not_before = (self.engine.ctx.clock.now()
+                                + self._backoff_delay(self._attempts))
+            obs = self.engine.ctx.obs
+            if obs.enabled:
+                obs.pipeline_busy_retry(self.engine.party_id,
+                                        self.object_name, self._attempts)
+            self._observe_depth()
+            return
+        self._attempts = 0
+        self._not_before = 0.0
+        for _, ticket in entries:
+            ticket.resolve(False, event.diagnostics, run_id)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter in [0.5, 1.0)."""
+        delay = min(self.max_retry_delay,
+                    self.base_retry_delay * (2 ** (attempt - 1)))
+        jitter = 0.5 + self.engine.ctx.rng.random_below(1000) / 2000.0
+        return delay * jitter
+
+    def _maybe_propose(self) -> Output:
+        if (not self._queue or self._inflight is not None
+                or self.engine.busy or self.engine.membership_change_active
+                or self.engine.ctx.clock.now() < self._not_before):
+            return Output()
+        entries = self._queue[:self.max_batch]
+        del self._queue[:len(entries)]
+        updates = [update for update, _ in entries]
+        if len(updates) == 1:
+            run_id, output = self.engine.propose_update(updates[0])
+        else:
+            run_id, output = self.engine.propose_update_batch(updates)
+        self._inflight = (run_id, entries)
+        self._observe_depth()
+        return output
+
+    def _observe_depth(self) -> None:
+        obs = self.engine.ctx.obs
+        if obs.enabled:
+            obs.pipeline_depth(self.engine.party_id, self.object_name,
+                               len(self._queue))

@@ -1,0 +1,75 @@
+"""The docs checker itself: broken links and stale examples are caught."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+import pytest
+
+TOOL_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                         "tools", "check_docs.py")
+
+
+@pytest.fixture
+def check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_docs_are_clean(check_docs):
+    """The committed documentation passes its own gate."""
+    assert check_docs.check_links() == []
+    assert check_docs.check_examples() == []
+
+
+def test_broken_link_reported(check_docs, tmp_path, monkeypatch):
+    (tmp_path / "doc.md").write_text(
+        "see [the spec](missing/SPEC.md) and [web](https://example.com)\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+    problems = check_docs.check_links()
+    assert len(problems) == 1
+    assert "missing/SPEC.md" in problems[0]
+
+
+def test_links_inside_code_blocks_ignored(check_docs, tmp_path, monkeypatch):
+    (tmp_path / "doc.md").write_text(
+        "```\n[not a link](nowhere.md)\n```\n"
+        "and inline `[also not](gone.md)` code\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+    assert check_docs.check_links() == []
+
+
+def test_anchors_and_existing_targets_resolve(check_docs, tmp_path,
+                                              monkeypatch):
+    (tmp_path / "other.md").write_text("# other\n")
+    (tmp_path / "doc.md").write_text(
+        "[sibling](other.md#some-anchor) [self](#local)\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+    assert check_docs.check_links() == []
+
+
+def test_failing_example_reported(check_docs, tmp_path, monkeypatch):
+    (tmp_path / "BAD.md").write_text(
+        "intro\n```python\nraise RuntimeError('stale example')\n```\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+    monkeypatch.setattr(check_docs, "EXECUTABLE_DOCS", ("BAD.md",))
+    problems = check_docs.check_examples()
+    assert len(problems) == 1
+    assert "stale example" in problems[0]
+
+
+def test_placeholder_examples_skipped(check_docs, tmp_path, monkeypatch):
+    (tmp_path / "DOC.md").write_text(
+        "```python\nconnect(host, ...)  # illustrative\n```\n"
+        "```python\nx = 1 + 1\nassert x == 2\n```\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+    monkeypatch.setattr(check_docs, "EXECUTABLE_DOCS", ("DOC.md",))
+    assert check_docs.check_examples() == []

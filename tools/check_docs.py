@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Documentation checker: broken links and stale examples fail the build.
+
+Two checks, both stdlib-only:
+
+1. **Intra-repo markdown links** — every ``[text](target)`` in every
+   tracked ``*.md`` file whose target is not an external URL or pure
+   anchor must resolve to an existing file or directory (anchors are
+   stripped, targets resolve relative to the linking file).
+2. **Embedded Python examples** — every fenced ```` ```python ````
+   block in ``README.md`` and ``docs/API.md`` is executed with ``src``
+   on ``sys.path``.  Blocks containing ``...`` placeholders are skipped
+   as illustrative.  An example that raises fails the check — so the
+   documented API cannot silently drift from the implementation.
+
+Run from the repository root (CI's ``docs-check`` job does):
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import traceback
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Directories never scanned for markdown files.
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".claude",
+             "node_modules", "results"}
+
+#: Files whose ```python blocks must execute cleanly.
+EXECUTABLE_DOCS = ("README.md", os.path.join("docs", "API.md"))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def markdown_files() -> "list[str]":
+    found = []
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return found
+
+
+def iter_prose_lines(text: str):
+    """(line_number, line) for lines outside fenced code blocks, with
+    inline code spans blanked so code snippets never look like links."""
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield number, INLINE_CODE_RE.sub("", line)
+
+
+def check_links() -> "list[str]":
+    problems = []
+    for path in markdown_files():
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        base = os.path.dirname(path)
+        rel_path = os.path.relpath(path, REPO_ROOT)
+        for number, line in iter_prose_lines(text):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, target))
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{rel_path}:{number}: broken link -> {target}"
+                    )
+    return problems
+
+
+def python_blocks(text: str) -> "list[tuple[int, str]]":
+    """(starting_line, source) for every ```python fenced block."""
+    blocks = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        if lines[index].strip().lower() in ("```python", "```py"):
+            start = index + 1
+            body = []
+            index += 1
+            while index < len(lines) and not lines[index].strip().startswith("```"):
+                body.append(lines[index])
+                index += 1
+            blocks.append((start + 1, "\n".join(body)))
+        index += 1
+    return blocks
+
+
+def check_examples() -> "list[str]":
+    problems = []
+    src_dir = os.path.join(REPO_ROOT, "src")
+    if src_dir not in sys.path:
+        sys.path.insert(0, src_dir)
+    for rel in EXECUTABLE_DOCS:
+        path = os.path.join(REPO_ROOT, rel)
+        if not os.path.exists(path):
+            problems.append(f"{rel}: executable-docs file missing")
+            continue
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for line_number, source in python_blocks(text):
+            if "..." in source:
+                continue  # illustrative snippet, not a runnable example
+            namespace = {"__name__": f"docs_example_{line_number}"}
+            try:
+                exec(compile(source, f"{rel}:{line_number}", "exec"),
+                     namespace)
+            except Exception:
+                trace = traceback.format_exc(limit=3).rstrip()
+                problems.append(
+                    f"{rel}:{line_number}: example failed\n{trace}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_links()
+    problems += check_examples()
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"\ndocs-check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs-check: all markdown links resolve and all examples run")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
