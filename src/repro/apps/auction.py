@@ -233,3 +233,51 @@ class AuctionHouse:
         """Block until a submitted operation settles; True iff agreed."""
         self.controller.node.wait_for_pipeline(ticket, timeout)
         return ticket.valid
+
+    # gateway (admission-controlled client entry point) -----------------------
+
+    def gateway_client(self, bidder: str,
+                       **gateway_options: Any) -> "GatewayBidder":
+        """Open an admission-controlled bidder session at this house.
+
+        This is the "clients act upon the state of an auction through
+        servers" boundary of scenario 3: bids enter through the house's
+        :class:`~repro.gateway.gateway.Gateway`, so a bid-sniping flood
+        from one client is rate limited and a retried bid (same
+        idempotency key) is never placed twice.  *gateway_options*
+        configure the gateway on first use (ignored once it exists).
+        """
+        gateway = self.controller.node.gateway(**gateway_options)
+        return GatewayBidder(gateway.session(bidder), self)
+
+
+class GatewayBidder:
+    """One client's bidding session through an auction house's gateway."""
+
+    def __init__(self, session: Any, house: AuctionHouse) -> None:
+        self.session = session
+        self.house = house
+
+    @property
+    def bidder(self) -> str:
+        return self.session.client_id
+
+    def bid(self, amount: int, key: "str | None" = None):
+        """Place a bid; returns a gateway ticket (idempotent under *key*)."""
+        if not isinstance(amount, int) or amount <= 0:
+            raise RuleViolation("bid amount must be a positive integer")
+        return self.session.submit(
+            self.house.controller.object_name,
+            {"op": "bid", "bidder": self.bidder, "amount": amount,
+             "house": self.house.house_id},
+            key=key,
+        )
+
+    def retry(self, ticket):
+        """Safely re-submit a bid after a timeout/reconnect (same key)."""
+        return self.session.retry(ticket)
+
+    def wait(self, ticket, timeout: "float | None" = None) -> bool:
+        """Block until a gateway ticket settles; True iff agreed."""
+        self.session.wait(ticket, timeout)
+        return ticket.valid

@@ -310,3 +310,67 @@ class OrderClient:
         """Block until a submitted operation settles; True iff agreed."""
         self.controller.node.wait_for_pipeline(ticket, timeout)
         return ticket.valid
+
+    # gateway (admission-controlled client entry point) -----------------------
+
+    def gateway_client(self, client_id: "str | None" = None,
+                       **gateway_options: Any) -> "GatewayOrderClient":
+        """Open an admission-controlled client onto this order.
+
+        The returned client routes operations through the node's
+        :class:`~repro.gateway.gateway.Gateway` — rate limited, load
+        leveled, idempotent and circuit-protected.  *gateway_options*
+        configure the gateway on first use (ignored once it exists).
+        """
+        gateway = self.controller.node.gateway(**gateway_options)
+        return GatewayOrderClient(gateway.session(client_id),
+                                  self.controller.object_name)
+
+
+class GatewayOrderClient:
+    """Order operations submitted through the client gateway.
+
+    Every operation returns a
+    :class:`~repro.gateway.gateway.GatewayTicket` and accepts an
+    optional ``key=`` idempotency key; re-submitting with the same key
+    (see :meth:`retry`) never double-applies the operation.
+    """
+
+    def __init__(self, session: Any, object_name: str) -> None:
+        self.session = session
+        self.object_name = object_name
+
+    @property
+    def client_id(self) -> str:
+        return self.session.client_id
+
+    def submit(self, op: dict, key: "str | None" = None):
+        return self.session.submit(self.object_name, op, key=key)
+
+    def add_item(self, name: str, quantity: int, key: "str | None" = None):
+        return self.submit({"op": "add_item", "name": name,
+                            "quantity": quantity}, key=key)
+
+    def change_quantity(self, name: str, quantity: int,
+                        key: "str | None" = None):
+        return self.submit({"op": "change_quantity", "name": name,
+                            "quantity": quantity}, key=key)
+
+    def price_item(self, name: str, price: int, key: "str | None" = None):
+        return self.submit({"op": "price_item", "name": name,
+                            "price": price}, key=key)
+
+    def approve_item(self, name: str, key: "str | None" = None):
+        return self.submit({"op": "approve_item", "name": name}, key=key)
+
+    def commit_delivery(self, terms: str, key: "str | None" = None):
+        return self.submit({"op": "commit_delivery", "terms": terms}, key=key)
+
+    def retry(self, ticket):
+        """Safely re-submit after a timeout/reconnect (same key)."""
+        return self.session.retry(ticket)
+
+    def wait(self, ticket, timeout: "float | None" = None) -> bool:
+        """Block until a gateway ticket settles; True iff agreed."""
+        self.session.wait(ticket, timeout)
+        return ticket.valid

@@ -18,6 +18,26 @@ def counter_states(count: int, payload_keys: int = 1,
         yield state
 
 
+def random_states(count: int, seed: "int | str" = 0,
+                  key_space: int = 8,
+                  payload_bytes: int = 16) -> "Iterator[dict]":
+    """Seeded random dict states (distinct via a monotonic counter).
+
+    The companion of :func:`counter_states` for workloads that should
+    *vary with the seed*: each state carries one randomly chosen key
+    with a random payload, drawn from a :class:`DeterministicRandomSource`
+    — the same seed always yields the same sequence.
+    """
+    rng = DeterministicRandomSource(f"workload-states:{seed}")
+    filler = "x" * payload_bytes
+    for index in range(count):
+        key = f"k{rng.random_below(key_space)}"
+        yield {
+            "counter": index + 1,
+            key: f"{filler}{rng.random_below(1 << 16)}",
+        }
+
+
 def random_updates(count: int, seed: "int | str" = 0,
                    key_space: int = 8) -> "Iterator[dict]":
     """Random small key/value updates over a bounded key space."""

@@ -160,7 +160,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         found_dict_object,
         run_state_workload,
     )
-    from repro.bench.workload import counter_states
+    from repro.bench.workload import counter_states, random_states
     from repro.core.community import Community
     from repro.core.runtime import SimRuntime
     from repro.transport.inmemory import LinkProfile
@@ -189,12 +189,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         schedule.arm()
         print(f"armed {args.failures} temporary {args.fault} fault(s), "
               f"{schedule.total_downtime():.2f}s total downtime")
-    summary = run_state_workload(
-        community, controllers, counter_states(args.updates)
-    )
+    # Thread the run seed through workload generation too, not just the
+    # transport's drop/jitter injection: the same --seed reproduces the
+    # same proposed states.
+    if args.workload == "random":
+        states = random_states(args.updates, seed=args.seed)
+    else:
+        states = counter_states(args.updates)
+    summary = run_state_workload(community, controllers, states)
     assert_replicas_converged(controllers)
     print(f"parties={args.parties} updates={args.updates} "
-          f"drop={args.drop} seed={args.seed}")
+          f"workload={args.workload} drop={args.drop} seed={args.seed}")
     print(f"  completed: {summary['completed']}  rejected: {summary['rejected']}")
     latency = summary["latency"]
     print(f"  virtual latency: mean={latency['mean']:.4f}s "
@@ -330,6 +335,7 @@ def _run_pipeline_burst(seed: int, updates: int, registry) -> None:
     """
     from repro.core.community import Community
     from repro.core.object import DictB2BObject
+    from repro.crypto.prng import DeterministicRandomSource
     from repro.obs import RecordingInstrumentation
 
     obs = RecordingInstrumentation(registry=registry)
@@ -337,16 +343,79 @@ def _run_pipeline_burst(seed: int, updates: int, registry) -> None:
     community = Community(names, seed=seed, obs=obs)
     replicas = {name: DictB2BObject() for name in names}
     community.found_object("ledger", replicas)
+    # Payload contents are seeded alongside the transport: the same
+    # --seed reproduces the same burst bit-for-bit.
+    rngs = {name: DeterministicRandomSource(f"pipeline-burst:{seed}:{name}")
+            for name in ("Cross", "Nought")}
     tickets = []
     for index in range(updates):
         for name in ("Cross", "Nought"):
+            rng = rngs[name]
             tickets.append(community.node(name).submit_update(
-                "ledger", {f"{name.lower()}-{index}": index}
+                "ledger", {
+                    f"{name.lower()}-k{rng.random_below(8)}":
+                        rng.random_below(1 << 16),
+                    f"{name.lower()}-stamp": index,
+                }
             ))
     for ticket in tickets:
         community.node("Cross").wait_for_pipeline(ticket)
     community.settle()
     community.close()
+
+
+def _cmd_gateway_sim(args: argparse.Namespace) -> int:
+    """Closed-loop client load through the gateway on virtual time."""
+    from repro.gateway import (
+        LoadSimConfig,
+        build_gateway_community,
+        run_load_sim,
+    )
+
+    obs = None
+    if args.obs:
+        from repro.obs import RecordingInstrumentation
+
+        obs = RecordingInstrumentation()
+    community, gateway, object_name = build_gateway_community(
+        orgs=args.parties, seed=args.seed, obs=obs,
+        rate=args.rate, burst=args.burst,
+        queue_capacity=args.queue_capacity,
+        max_inflight=args.max_inflight,
+        pipeline_options={"max_batch": args.max_batch},
+    )
+    config = LoadSimConfig(
+        clients=args.clients, requests_per_client=args.requests,
+        arrival_window=args.arrival_window,
+        hot_clients=args.hot_clients, hot_factor=args.hot_factor,
+        seed=args.seed,
+    )
+    stats = run_load_sim(community, gateway, object_name, config)
+    state = community.node("Org1").controllers[object_name] \
+        .b2b_object.get_state()
+    summary = stats.summary()
+    latency = summary["latency_s"]
+    print(f"clients={args.clients} requests/client={args.requests} "
+          f"parties={args.parties} rate={args.rate} seed={args.seed}")
+    print(f"  settled valid: {summary['settled_valid']}  "
+          f"invalid: {summary['settled_invalid']}  "
+          f"replayed: {summary['replayed']}  gave up: {summary['gave_up']}")
+    if summary["retries"]:
+        rejected = ", ".join(f"{kind}={count}" for kind, count
+                             in sorted(summary["retries"].items()))
+        print(f"  rejected attempts: {rejected}")
+    print(f"  virtual time: {summary['elapsed_virtual_s']:.2f}s  "
+          f"throughput: {summary['updates_per_virtual_s']:.0f} updates/s")
+    print(f"  settle latency: p50={latency['p50']:.4f}s "
+          f"p95={latency['p95']:.4f}s p99={latency['p99']:.4f}s")
+    print(f"  agreed state: applied={state['applied']} "
+          f"total={state['total']}")
+    print(f"  breakers: {gateway.stats()['breakers']}")
+    if obs is not None:
+        print()
+        print(obs.report())
+    community.close()
+    return 0
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -540,9 +609,41 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fault", choices=["none", "crash", "partition"],
                           default="none")
     simulate.add_argument("--failures", type=int, default=0)
+    simulate.add_argument("--workload", choices=["counter", "random"],
+                          default="counter",
+                          help="counter: fixed sequential states; random: "
+                               "seeded random states (varies with --seed)")
     simulate.add_argument("--obs", action="store_true",
                           help="record metrics and print the obs report")
     simulate.set_defaults(func=_cmd_simulate)
+
+    gateway_sim = sub.add_parser(
+        "gateway-sim",
+        help="closed-loop client load through the gateway on the simulator",
+    )
+    gateway_sim.add_argument("--clients", type=int, default=1000)
+    gateway_sim.add_argument("--requests", type=int, default=1,
+                             help="requests per client (closed loop)")
+    gateway_sim.add_argument("--parties", type=int, default=2)
+    gateway_sim.add_argument("--seed", type=int, default=0)
+    gateway_sim.add_argument("--rate", type=float, default=None,
+                             help="per-client token refill rate "
+                                  "(tokens/s; default: no rate limit)")
+    gateway_sim.add_argument("--burst", type=float, default=16.0)
+    gateway_sim.add_argument("--queue-capacity", type=int, default=4096)
+    gateway_sim.add_argument("--max-inflight", type=int, default=512)
+    gateway_sim.add_argument("--max-batch", type=int, default=256,
+                             help="pipeline batch bound behind the gateway")
+    gateway_sim.add_argument("--arrival-window", type=float, default=2.0,
+                             help="seconds over which client start times "
+                                  "are spread")
+    gateway_sim.add_argument("--hot-clients", type=int, default=0,
+                             help="clients that submit --hot-factor times "
+                                  "the normal load")
+    gateway_sim.add_argument("--hot-factor", type=int, default=10)
+    gateway_sim.add_argument("--obs", action="store_true",
+                             help="record metrics and print the obs report")
+    gateway_sim.set_defaults(func=_cmd_gateway_sim)
 
     obs_report = sub.add_parser(
         "obs-report",

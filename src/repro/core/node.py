@@ -72,6 +72,7 @@ class OrganisationNode:
         self._tickets: "dict[str, CoordinationTicket]" = {}
         self._pipelines: "dict[str, ProposalPipeline]" = {}
         self._pipeline_timers: "dict[str, TimerHandle]" = {}
+        self._gateway: "Optional[Any]" = None
         self._lock = threading.RLock()
         self._join_objects: "dict[str, B2BObject]" = {}
         self._join_modes: "dict[str, str]" = {}
@@ -238,6 +239,20 @@ class OrganisationNode:
             self._process_output(output)
         self._schedule_pipeline_retry(object_name)
         return ticket
+
+    def gateway(self, **options: Any) -> "Any":
+        """This node's client gateway, created on first use.
+
+        *options* (``rate``, ``queue_capacity``, ``breaker``, ...)
+        configure the :class:`~repro.gateway.gateway.Gateway` on
+        creation and are ignored once it exists.
+        """
+        with self._lock:
+            if self._gateway is None:
+                from repro.gateway.gateway import Gateway
+
+                self._gateway = Gateway(self, **options)
+            return self._gateway
 
     def wait_for_pipeline(self, ticket: PipelineTicket,
                           timeout: "float | None" = None) -> bool:

@@ -113,6 +113,17 @@ class ConcurrencyError(ProtocolError):
     """A coordination request conflicts with an active protocol run."""
 
 
+class PipelineSaturatedError(ProtocolError):
+    """A proposal pipeline's local queue reached its configured bound.
+
+    Raised by :meth:`~repro.protocol.pipeline.ProposalPipeline.submit`
+    when ``max_depth`` updates are already queued, so a flooding caller
+    (typically a gateway) gets explicit backpressure instead of
+    unbounded memory growth.  The update was *not* enqueued; retrying
+    after in-flight runs settle is safe.
+    """
+
+
 class MembershipError(ProtocolError):
     """A connection/disconnection request was malformed or illegitimate."""
 
@@ -136,6 +147,31 @@ class MisbehaviourDetected(ProtocolError):
 
 class DisputeError(B2BError):
     """Extra-protocol arbitration could not reach a ruling."""
+
+
+class GatewayError(B2BError):
+    """Base class for front-door gateway admission failures.
+
+    All gateway rejections are *pre-coordination*: the update never
+    reached the proposal pipeline, so retrying later is always safe.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        #: Hint, in seconds, for when a retry might be admitted.
+        self.retry_after = retry_after
+
+
+class RateLimitedError(GatewayError):
+    """A client exhausted its token bucket; retry after the refill."""
+
+
+class GatewayOverloadedError(GatewayError):
+    """The admission queue is full; the request was shed (load leveling)."""
+
+
+class CircuitOpenError(GatewayError):
+    """The community's circuit breaker is open; the gateway fails fast."""
 
 
 class ApplicationError(B2BError):

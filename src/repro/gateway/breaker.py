@@ -1,0 +1,171 @@
+"""Per-community circuit breaker over settlement health.
+
+The coordination protocol needs *every* party to respond, so one crashed
+or degraded organisation stalls settlement for the whole community.
+Clients that keep submitting during such an episode only deepen the
+backlog: each admitted update waits out the full busy-retry schedule and
+eventually fails (or settles with enormous latency).
+
+:class:`CircuitBreaker` watches the stream of settlement outcomes for
+one shared object and fails fast when the community looks unhealthy:
+
+* **closed** — normal operation.  A sliding window of recent outcomes is
+  kept; when failures in the window reach ``failure_threshold``, or a
+  settlement exceeds ``latency_threshold`` seconds, the breaker opens.
+* **open** — every request is rejected immediately with
+  :class:`~repro.errors.CircuitOpenError` (and the remaining cool-down
+  as ``retry_after``).  After ``reset_timeout`` seconds the breaker
+  half-opens.
+* **half_open** — up to ``probes`` requests are let through as probes.
+  If every probe settles cleanly the breaker closes; any probe failure
+  (or over-latency settlement) re-opens it for another cool-down.
+
+The breaker never *blocks* — like everything else in the stack it is a
+sans-IO state machine driven by ``allow()`` at admission time and
+``record()`` at settlement time, using the node's protocol clock
+(virtual time under the simulator).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.util.clocks import Clock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Fail-fast guard for one shared object's settlement path."""
+
+    def __init__(self, clock: Clock,
+                 failure_threshold: int = 5,
+                 window: int = 20,
+                 latency_threshold: "Optional[float]" = None,
+                 reset_timeout: float = 5.0,
+                 probes: int = 2,
+                 on_transition: "Optional[Callable[[str, str], None]]" = None
+                 ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if window < failure_threshold:
+            raise ValueError("window must hold at least failure_threshold")
+        if probes < 1:
+            raise ValueError("probes must be at least 1")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.latency_threshold = latency_threshold
+        self.reset_timeout = reset_timeout
+        self.probes = probes
+        self.on_transition = on_transition
+        self._state = CLOSED
+        #: Recent outcomes in the closed window: True = unhealthy.
+        self._outcomes: "deque[bool]" = deque(maxlen=window)
+        self._opened_at = 0.0
+        #: Probe slots handed out / settled during half_open.
+        self._probes_inflight = 0
+        self._probes_succeeded = 0
+        #: (time, old, new) transition log for tests and reports.
+        self.transitions: "list[tuple[float, str, str]]" = []
+
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def retry_after(self) -> float:
+        """Remaining cool-down while open (0.0 otherwise)."""
+        if self._state != OPEN:
+            return 0.0
+        remaining = (self._opened_at + self.reset_timeout
+                     - self.clock.now())
+        return max(0.0, remaining)
+
+    # ------------------------------------------------------------------
+    # admission path
+    # ------------------------------------------------------------------
+
+    def allow(self) -> "tuple[bool, bool]":
+        """``(admitted, is_probe)`` for one incoming request.
+
+        While half-open, admitted requests are probe-flagged and capped
+        at ``probes`` in flight; their outcomes (reported back through
+        :meth:`record` with ``probe=True``) decide whether the breaker
+        closes or re-opens.
+        """
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return True, False
+        if self._state == HALF_OPEN:
+            if self._probes_inflight < self.probes:
+                self._probes_inflight += 1
+                return True, True
+            return False, False
+        return False, False
+
+    def release_probe(self) -> None:
+        """Return an unused probe slot (admission failed later on)."""
+        if self._probes_inflight > 0:
+            self._probes_inflight -= 1
+
+    # ------------------------------------------------------------------
+    # settlement path
+    # ------------------------------------------------------------------
+
+    def record(self, ok: bool, seconds: float, probe: bool = False) -> None:
+        """Feed one settlement outcome (``seconds`` = admission→settle).
+
+        Non-probe outcomes are ignored outside the closed state: they
+        are stragglers from the backlog that built up before the breaker
+        opened, and must not vote on recovery — only fresh probes can.
+        """
+        unhealthy = (not ok) or (
+            self.latency_threshold is not None
+            and seconds > self.latency_threshold)
+        self._maybe_half_open()
+        if probe and self._state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            if unhealthy:
+                self._trip()
+            else:
+                self._probes_succeeded += 1
+                if self._probes_succeeded >= self.probes:
+                    self._transition(CLOSED)
+                    self._outcomes.clear()
+            return
+        if self._state != CLOSED:
+            return
+        self._outcomes.append(unhealthy)
+        failures = sum(1 for bad in self._outcomes if bad)
+        if failures >= self.failure_threshold:
+            self._trip()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _trip(self) -> None:
+        self._opened_at = self.clock.now()
+        self._transition(OPEN)
+        self._outcomes.clear()
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == OPEN
+                and self.clock.now() >= self._opened_at + self.reset_timeout):
+            self._transition(HALF_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        if new_state == HALF_OPEN:
+            self._probes_inflight = 0
+            self._probes_succeeded = 0
+        self.transitions.append((self.clock.now(), old_state, new_state))
+        if self.on_transition is not None:
+            self.on_transition(old_state, new_state)

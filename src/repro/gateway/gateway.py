@@ -1,0 +1,383 @@
+"""The front-door gateway: admission control for client traffic.
+
+The middleware's coordination machinery (engines, pipeline, node) deals
+in *organisations* — a handful of mutually suspicious parties running a
+unanimous protocol.  The population pushing updates at one organisation
+is a different animal: many clients, bursty, retry-happy, and unaware of
+each other.  :class:`Gateway` is the boundary between the two worlds.
+It accepts client submissions and routes them into the node's
+:class:`~repro.protocol.pipeline.ProposalPipeline` through four guards:
+
+* **Rate limiting** — a per-client token bucket
+  (:mod:`repro.gateway.ratelimit`); a flooding client is answered with
+  :class:`~repro.errors.RateLimitedError` and an exact retry delay,
+  without starving well-behaved clients.
+* **Load leveling** — admitted requests wait in a bounded
+  :class:`~repro.gateway.queue.AdmissionQueue` and at most
+  ``max_inflight`` occupy the pipeline at once; a full queue *sheds*
+  with :class:`~repro.errors.GatewayOverloadedError` rather than
+  buffering without bound.
+* **Idempotency** — requests carry a per-client idempotency key
+  (:mod:`repro.gateway.idempotency`); a retry of a pending request
+  joins the original ticket, and a retry of a settled one replays the
+  original outcome.  The update is applied exactly once.
+* **Circuit breaking** — a per-object
+  :class:`~repro.gateway.breaker.CircuitBreaker` watches settlement
+  latency and veto rates; when the community is unhealthy the gateway
+  fails fast with :class:`~repro.errors.CircuitOpenError` and recovers
+  via half-open probe requests.
+
+Threading: the gateway shares the node's re-entrant lock.  Settlement
+events arrive from :meth:`OrganisationNode._dispatch_event` with that
+lock held, and the gateway's admission path takes it too — sharing one
+lock makes the lock order trivially consistent (no gateway-then-node vs
+node-then-gateway deadlock) and keeps admission atomic with respect to
+settlement.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    CircuitOpenError,
+    GatewayOverloadedError,
+    PipelineSaturatedError,
+    RateLimitedError,
+)
+from repro.gateway.breaker import CircuitBreaker
+from repro.gateway.idempotency import IdempotencyCache
+from repro.gateway.queue import AdmissionQueue
+from repro.gateway.ratelimit import RateLimiter
+from repro.gateway.session import ClientSession
+from repro.protocol.events import Event, RunCompleted
+
+
+@dataclass
+class GatewayTicket:
+    """Handle on one client submission, resolved when it settles."""
+
+    client_id: str
+    object_name: str
+    key: str
+    update: Any
+    submitted_at: float
+    done: bool = False
+    valid: "Optional[bool]" = None
+    diagnostics: "list[str]" = field(default_factory=list)
+    run_id: "Optional[str]" = None
+    #: Admission→settlement seconds on the protocol clock.
+    latency: "Optional[float]" = None
+    #: True when this handle was served from the idempotency cache.
+    replayed: bool = False
+    _probe: bool = field(default=False, repr=False)
+    _pipeline_ticket: Any = field(default=None, repr=False)
+    _callbacks: "list[Callable[[GatewayTicket], None]]" = field(
+        default_factory=list, repr=False)
+    _signal: threading.Event = field(default_factory=threading.Event,
+                                     repr=False)
+
+    def on_done(self, callback: "Callable[[GatewayTicket], None]") -> None:
+        """Run *callback(ticket)* at settlement (immediately if settled)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def resolve(self, valid: bool, diagnostics: "list[str]",
+                run_id: "Optional[str]", latency: float) -> None:
+        self.valid = valid
+        self.diagnostics = list(diagnostics)
+        self.run_id = run_id
+        self.latency = latency
+        self.done = True
+        self._signal.set()
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def wait_signal(self, timeout: "float | None") -> bool:
+        """Real-time wait used by the threaded runtime."""
+        return self._signal.wait(timeout)
+
+    def replay_view(self) -> "GatewayTicket":
+        """A settled copy marked ``replayed`` (original outcome intact)."""
+        view = GatewayTicket(
+            client_id=self.client_id, object_name=self.object_name,
+            key=self.key, update=self.update,
+            submitted_at=self.submitted_at, replayed=True,
+        )
+        view.resolve(bool(self.valid), self.diagnostics, self.run_id,
+                     self.latency if self.latency is not None else 0.0)
+        return view
+
+
+class _ObjectLane:
+    """Per-object admission state: queue, breaker, inflight entries."""
+
+    __slots__ = ("queue", "breaker", "inflight", "draining")
+
+    def __init__(self, queue: AdmissionQueue, breaker: CircuitBreaker) -> None:
+        self.queue = queue
+        self.breaker = breaker
+        self.inflight: "list[GatewayTicket]" = []
+        self.draining = False
+
+
+class Gateway:
+    """Admission-controlled client entry point for one organisation node."""
+
+    def __init__(self, node: Any,
+                 queue_capacity: int = 1024,
+                 max_inflight: int = 256,
+                 rate: "Optional[float]" = None,
+                 burst: float = 16.0,
+                 breaker: "Optional[dict]" = None,
+                 idempotency_capacity: int = 4096,
+                 shed_retry_after: float = 0.05,
+                 pipeline_options: "Optional[dict]" = None) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.node = node
+        self.queue_capacity = queue_capacity
+        self.max_inflight = max_inflight
+        self.shed_retry_after = shed_retry_after
+        self.breaker_options = dict(breaker or {})
+        self.pipeline_options = dict(pipeline_options or {})
+        clock = node.ctx.clock
+        self.limiter: "Optional[RateLimiter]" = (
+            RateLimiter(rate, burst, clock) if rate is not None else None)
+        self.idempotency = IdempotencyCache(idempotency_capacity)
+        self._lanes: "dict[str, _ObjectLane]" = {}
+        # Share the node's re-entrant lock (see module docstring).
+        self._lock = node._lock
+        self._session_serial = 0
+        # Local tallies mirroring the obs counters, so callers without
+        # instrumentation (the load sim, quick scripts) still get totals.
+        self.stats_admitted = 0
+        self.stats_replayed = 0
+        self.stats_settled_valid = 0
+        self.stats_settled_invalid = 0
+        self.stats_rejected: "dict[str, int]" = {
+            "rate_limited": 0, "queue_full": 0, "circuit_open": 0,
+        }
+        node.add_listener(self._on_event)
+
+    # ------------------------------------------------------------------
+    # client-facing API
+    # ------------------------------------------------------------------
+
+    def session(self, client_id: "Optional[str]" = None) -> ClientSession:
+        """Open a client session (auto-named when *client_id* is None)."""
+        with self._lock:
+            self._session_serial += 1
+            serial = self._session_serial
+        if client_id is None:
+            client_id = f"client-{serial}"
+        return ClientSession(self, client_id, serial)
+
+    def submit(self, client_id: str, object_name: str, update: Any,
+               key: str) -> GatewayTicket:
+        """Admit one client update for *object_name*.
+
+        Raises :class:`~repro.errors.RateLimitedError`,
+        :class:`~repro.errors.GatewayOverloadedError` or
+        :class:`~repro.errors.CircuitOpenError` when a guard rejects;
+        each carries ``retry_after`` seconds.  Returns the original
+        ticket when *key* repeats a pending request, and a settled
+        ``replayed`` view when it repeats a completed one.
+        """
+        obs = self.node.ctx.obs
+        party = self.node.party_id
+        with self._lock:
+            existing = self.idempotency.lookup(client_id, key)
+            if existing is not None:
+                self.stats_replayed += 1
+                if obs.enabled:
+                    obs.gateway_replayed(party, object_name, client_id)
+                return existing.replay_view() if existing.done else existing
+            lane = self._lane(object_name)
+            admitted, probe = lane.breaker.allow()
+            if not admitted:
+                self._reject(obs, party, object_name, client_id,
+                             "circuit_open")
+                raise CircuitOpenError(
+                    f"circuit for {object_name!r} is "
+                    f"{lane.breaker.state}; failing fast",
+                    retry_after=lane.breaker.retry_after(),
+                )
+            if self.limiter is not None:
+                ok, retry_after = self.limiter.admit(client_id)
+                if not ok:
+                    if probe:
+                        lane.breaker.release_probe()
+                    self._reject(obs, party, object_name, client_id,
+                                 "rate_limited")
+                    raise RateLimitedError(
+                        f"client {client_id!r} exceeded its rate limit",
+                        retry_after=retry_after,
+                    )
+            ticket = GatewayTicket(
+                client_id=client_id, object_name=object_name, key=key,
+                update=update, submitted_at=self.node.ctx.clock.now(),
+            )
+            ticket._probe = probe
+            if not lane.queue.offer(ticket):
+                if probe:
+                    lane.breaker.release_probe()
+                self._reject(obs, party, object_name, client_id,
+                             "queue_full")
+                raise GatewayOverloadedError(
+                    f"gateway admission queue for {object_name!r} is full "
+                    f"({lane.queue.depth} waiting)",
+                    retry_after=self.shed_retry_after,
+                )
+            self.stats_admitted += 1
+            if obs.enabled:
+                obs.gateway_admitted(party, object_name, client_id)
+                obs.gateway_queue_depth(party, object_name, lane.queue.depth)
+            self.idempotency.note_pending(client_id, key, ticket)
+            self._drain(object_name, lane)
+            return ticket
+
+    def wait(self, ticket: GatewayTicket,
+             timeout: "float | None" = None) -> bool:
+        """Block until *ticket* settles (or *timeout* passes)."""
+        timeout = (timeout if timeout is not None
+                   else self.node.default_timeout)
+        return self.node.runtime.wait_until(lambda: ticket.done, timeout)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def breaker(self, object_name: str) -> CircuitBreaker:
+        with self._lock:
+            return self._lane(object_name).breaker
+
+    def queue_depth(self, object_name: str) -> int:
+        with self._lock:
+            lane = self._lanes.get(object_name)
+            return lane.queue.depth if lane else 0
+
+    def inflight_count(self, object_name: str) -> int:
+        with self._lock:
+            lane = self._lanes.get(object_name)
+            return len(lane.inflight) if lane else 0
+
+    def stats(self) -> dict:
+        """Cumulative admission tallies (also available via repro.obs)."""
+        with self._lock:
+            return {
+                "admitted": self.stats_admitted,
+                "replayed": self.stats_replayed,
+                "settled_valid": self.stats_settled_valid,
+                "settled_invalid": self.stats_settled_invalid,
+                "rejected": dict(self.stats_rejected),
+                "breakers": {name: lane.breaker.state
+                             for name, lane in self._lanes.items()},
+            }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _lane(self, object_name: str) -> _ObjectLane:
+        lane = self._lanes.get(object_name)
+        if lane is None:
+            obs = self.node.ctx.obs
+            party = self.node.party_id
+
+            def announce(old_state: str, new_state: str) -> None:
+                if obs.enabled:
+                    obs.breaker_transition(party, object_name,
+                                           old_state, new_state)
+
+            lane = _ObjectLane(
+                AdmissionQueue(self.queue_capacity),
+                CircuitBreaker(self.node.ctx.clock,
+                               on_transition=announce,
+                               **self.breaker_options),
+            )
+            self._lanes[object_name] = lane
+        return lane
+
+    def _reject(self, obs: Any, party: str, object_name: str,
+                client_id: str, reason: str) -> None:
+        self.stats_rejected[reason] += 1
+        if obs.enabled:
+            obs.gateway_rejected(party, object_name, client_id, reason)
+
+    def _drain(self, object_name: str, lane: _ObjectLane) -> None:
+        """Dispatch queued entries into the pipeline, up to max_inflight.
+
+        Called under the shared lock from both admission and settlement;
+        the ``draining`` latch stops re-entrant dispatch when the node
+        processes pipeline output synchronously.
+        """
+        if lane.draining:
+            return
+        lane.draining = True
+        try:
+            while (len(lane.inflight) < self.max_inflight
+                   and len(lane.queue) > 0):
+                entry = lane.queue.take()
+                if self.pipeline_options:
+                    self.node.pipeline(object_name, **self.pipeline_options)
+                try:
+                    pipeline_ticket = self.node.submit_update(
+                        object_name, entry.update)
+                except PipelineSaturatedError:
+                    # Pipeline backpressure: the entry was admitted, so
+                    # keep it at the head and retry on next settlement.
+                    lane.queue.push_back(entry)
+                    return
+                entry._pipeline_ticket = pipeline_ticket
+                lane.inflight.append(entry)
+        finally:
+            lane.draining = False
+
+    def _on_event(self, event: Event) -> None:
+        """Node listener: finalize settled entries, then refill.
+
+        Runs with the shared lock already held (the node dispatches
+        events under it); taking it again is a re-entrant no-op.
+        """
+        if not (isinstance(event, RunCompleted) and event.kind == "state"):
+            return
+        with self._lock:
+            lane = self._lanes.get(event.object_name)
+            if lane is None:
+                return
+            still_inflight = []
+            settled = []
+            for entry in lane.inflight:
+                ticket = entry._pipeline_ticket
+                if ticket is not None and ticket.done:
+                    settled.append(entry)
+                else:
+                    still_inflight.append(entry)
+            lane.inflight = still_inflight
+            for entry in settled:
+                self._finalize(lane, entry)
+            if settled:
+                self._drain(event.object_name, lane)
+
+    def _finalize(self, lane: _ObjectLane, entry: GatewayTicket) -> None:
+        pipeline_ticket = entry._pipeline_ticket
+        valid = bool(pipeline_ticket.valid)
+        latency = self.node.ctx.clock.now() - entry.submitted_at
+        lane.breaker.record(valid, latency, probe=entry._probe)
+        self.idempotency.complete(entry.client_id, entry.key, entry)
+        if valid:
+            self.stats_settled_valid += 1
+        else:
+            self.stats_settled_invalid += 1
+        obs = self.node.ctx.obs
+        if obs.enabled:
+            obs.gateway_settled(self.node.party_id, entry.object_name,
+                                valid, latency)
+        entry.resolve(valid, pipeline_ticket.diagnostics,
+                      pipeline_ticket.run_id, latency)

@@ -1,0 +1,65 @@
+"""Idempotency keys: exactly-once submission across client retries.
+
+A client that times out or reconnects cannot know whether its update was
+applied.  Submitting again with the *same* idempotency key is always
+safe: while the original request is still pending the gateway returns
+the very same ticket (no second submission reaches the pipeline), and
+once it has settled the gateway replays the original outcome from a
+bounded cache — the update is applied exactly once and every retry
+observes the first outcome.
+
+The completed-outcome cache is a sliding LRU window, the same discipline
+the coordination engine applies to its ``_seen_proposal_keys`` replay
+set: old enough keys are forgotten, so a retry arriving *after* eviction
+is treated as a fresh request.  Size the window for the longest retry
+horizon the deployment allows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+Key = "tuple[str, str]"
+
+
+class IdempotencyCache:
+    """Pending and completed gateway tickets keyed by (client, key)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("idempotency capacity must be at least 1")
+        self.capacity = capacity
+        #: In-flight requests; bounded naturally by queue + inflight.
+        self._pending: "dict[tuple[str, str], Any]" = {}
+        #: Settled outcomes, oldest evicted beyond *capacity*.
+        self._completed: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
+
+    def lookup(self, client_id: str, key: str) -> "Optional[Any]":
+        """The ticket already held for this (client, key), if any."""
+        entry = self._pending.get((client_id, key))
+        if entry is not None:
+            return entry
+        entry = self._completed.get((client_id, key))
+        if entry is not None:
+            self._completed.move_to_end((client_id, key))
+        return entry
+
+    def note_pending(self, client_id: str, key: str, ticket: Any) -> None:
+        self._pending[(client_id, key)] = ticket
+
+    def complete(self, client_id: str, key: str, ticket: Any) -> None:
+        """Move a settled request into the bounded replay window."""
+        self._pending.pop((client_id, key), None)
+        self._completed[(client_id, key)] = ticket
+        self._completed.move_to_end((client_id, key))
+        while len(self._completed) > self.capacity:
+            self._completed.popitem(last=False)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self._completed)

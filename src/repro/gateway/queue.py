@@ -1,0 +1,56 @@
+"""Bounded FIFO admission queue (queue-based load leveling).
+
+The gateway never pushes client traffic straight into a proposal
+pipeline: requests first land in an :class:`AdmissionQueue`, from which
+the gateway dispatches at most ``max_inflight`` entries into the
+pipeline at a time.  The queue absorbs bursts; when it is full the
+gateway *sheds* the request with an explicit
+:class:`~repro.errors.GatewayOverloadedError` instead of buffering
+without bound — the caller is told to back off, which is the point of
+load leveling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+
+class AdmissionQueue:
+    """Bounded FIFO of admitted-but-not-yet-dispatched gateway entries."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "deque[Any]" = deque()
+
+    @property
+    def depth(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def offer(self, entry: Any) -> bool:
+        """Append *entry*; False (shed) when the queue is full."""
+        if self.full:
+            return False
+        self._entries.append(entry)
+        return True
+
+    def take(self) -> "Optional[Any]":
+        """Pop the oldest entry, or None when empty."""
+        return self._entries.popleft() if self._entries else None
+
+    def push_back(self, entry: Any) -> None:
+        """Return *entry* to the head (a dispatch hit pipeline backpressure).
+
+        Re-queued entries were already admitted, so this may transiently
+        exceed ``capacity``; only fresh :meth:`offer` calls are bounded.
+        """
+        self._entries.appendleft(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,60 @@
+"""Client sessions: idempotency-key management over the gateway.
+
+A :class:`ClientSession` is the client-side handle the apps hand out.
+It remembers the client's identity and stamps every submission with an
+idempotency key, so "retry after timeout" is a one-liner
+(:meth:`retry`) instead of a correctness hazard.
+
+Auto-generated keys are namespaced by a gateway-assigned *session
+serial*: two sessions for the same client id never collide, so a client
+that reconnects with a fresh session gets fresh auto keys.  To make a
+retry span a reconnect, the client must carry the key across — either by
+re-using the ticket (:meth:`retry` works from any session) or by passing
+the same explicit ``key=`` to :meth:`submit`.  That is the documented
+exactly-once contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class ClientSession:
+    """One client's submission handle onto a :class:`Gateway`."""
+
+    def __init__(self, gateway: Any, client_id: str, serial: int) -> None:
+        self.gateway = gateway
+        self.client_id = client_id
+        self._serial = serial
+        self._sequence = 0
+
+    def next_key(self) -> str:
+        """A fresh auto idempotency key, unique to this session."""
+        self._sequence += 1
+        return f"auto/{self._serial}/{self._sequence}"
+
+    def submit(self, object_name: str, update: Any,
+               key: "Optional[str]" = None) -> Any:
+        """Submit one update; *key* defaults to a fresh auto key.
+
+        Pass an explicit *key* to make the submission retryable across
+        reconnects: any later submission with the same (client, key)
+        observes this one's outcome instead of applying again.
+        """
+        if key is None:
+            key = self.next_key()
+        return self.gateway.submit(self.client_id, object_name, update, key)
+
+    def retry(self, ticket: Any) -> Any:
+        """Re-submit a ticket's request under its original key.
+
+        Safe after a timeout or reconnect: if the original settled this
+        replays its outcome, if it is still pending this returns the
+        original ticket, and only if the gateway has genuinely forgotten
+        the key (idempotency window expired) is the update re-admitted.
+        """
+        return self.gateway.submit(ticket.client_id, ticket.object_name,
+                                   ticket.update, ticket.key)
+
+    def wait(self, ticket: Any, timeout: "float | None" = None) -> bool:
+        return self.gateway.wait(ticket, timeout)

@@ -106,6 +106,42 @@ class Instrumentation:
                             attempt: int) -> None:
         """A pipeline re-queued a batch vetoed for benign contention."""
 
+    def pipeline_saturated(self, party: str, object_name: str,
+                           depth: int) -> None:
+        """A bounded pipeline rejected a submit at *depth* queued updates."""
+
+    # -- gateway (gateway/gateway.py) --------------------------------------
+
+    def gateway_admitted(self, party: str, object_name: str,
+                         client: str) -> None:
+        """A client request passed admission into the gateway queue."""
+
+    def gateway_rejected(self, party: str, object_name: str, client: str,
+                         reason: str) -> None:
+        """A client request was refused pre-coordination.
+
+        *reason* is one of ``"rate_limited"`` (token bucket empty),
+        ``"queue_full"`` (shed by load leveling) or ``"circuit_open"``
+        (failing fast on a degraded community).
+        """
+
+    def gateway_replayed(self, party: str, object_name: str,
+                         client: str) -> None:
+        """An idempotent retry was served from the replay cache."""
+
+    def gateway_queue_depth(self, party: str, object_name: str,
+                            depth: int) -> None:
+        """Current depth of a gateway admission queue."""
+
+    def gateway_settled(self, party: str, object_name: str, valid: bool,
+                        seconds: float) -> None:
+        """A gateway request settled end to end (*seconds* admission to
+        outcome, on the protocol clock)."""
+
+    def breaker_transition(self, party: str, object_name: str,
+                           old_state: str, new_state: str) -> None:
+        """A community circuit breaker changed state (closed/open/half_open)."""
+
     # -- transport (reliable.py / tcp.py) ----------------------------------
 
     def message_sent(self, party: str, recipient: str, size: int) -> None:

@@ -107,6 +107,36 @@ class RecordingInstrumentation(Instrumentation):
         self.tracer.event("pipeline.retry", party=party, object=object_name,
                           attempt=attempt)
 
+    def pipeline_saturated(self, party, object_name, depth):
+        self.registry.counter("pipeline.saturated").inc()
+
+    # -- gateway -----------------------------------------------------------
+
+    def gateway_admitted(self, party, object_name, client):
+        self.registry.counter("gateway.admitted").inc()
+
+    def gateway_rejected(self, party, object_name, client, reason):
+        self.registry.counter("gateway.rejected").inc()
+        self.registry.counter(f"gateway.rejected.{reason}").inc()
+
+    def gateway_replayed(self, party, object_name, client):
+        self.registry.counter("gateway.replays").inc()
+
+    def gateway_queue_depth(self, party, object_name, depth):
+        self.registry.gauge("gateway.queue_depth").set(depth)
+
+    def gateway_settled(self, party, object_name, valid, seconds):
+        verdict = "valid" if valid else "invalid"
+        self.registry.counter(f"gateway.settled.{verdict}").inc()
+        self.registry.histogram("gateway.settle_seconds").observe(seconds)
+
+    def breaker_transition(self, party, object_name, old_state, new_state):
+        self.registry.counter("gateway.breaker.transitions").inc()
+        self.registry.counter(
+            f"gateway.breaker.{old_state}->{new_state}").inc()
+        self.tracer.event("gateway.breaker", party=party, object=object_name,
+                          old=old_state, new=new_state)
+
     # -- transport ---------------------------------------------------------
 
     def message_sent(self, party, recipient, size):

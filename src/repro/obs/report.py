@@ -50,6 +50,7 @@ def render_report(registry: MetricsRegistry) -> str:
         _storage_section(registry),
         _run_section(registry),
         _pipeline_section(registry),
+        _gateway_section(registry),
     ]
     return "\n\n".join(section for section in sections if section)
 
@@ -158,8 +159,10 @@ def _run_section(registry: MetricsRegistry) -> str:
 def _pipeline_section(registry: MetricsRegistry) -> str:
     batches = registry.counter_value("pipeline.batches")
     retries = registry.counter_value("pipeline.busy_retries")
+    saturated = registry.counter_value("pipeline.saturated")
     depth = registry.gauge("pipeline.depth")
-    if batches == 0 and retries == 0 and depth.high_water == 0:
+    if batches == 0 and retries == 0 and saturated == 0 \
+            and depth.high_water == 0:
         return ""
     size = registry.histogram("pipeline.batch_size").summary()
     rows = [
@@ -168,6 +171,34 @@ def _pipeline_section(registry: MetricsRegistry) -> str:
         ["batch size p50", size["p50"]],
         ["batch size max", size["max"]],
         ["busy retries", retries],
+        ["saturation rejections", saturated],
         ["max pipeline depth", depth.high_water],
     ]
     return "== proposal pipeline ==\n" + format_table(["metric", "value"], rows)
+
+
+def _gateway_section(registry: MetricsRegistry) -> str:
+    admitted = registry.counter_value("gateway.admitted")
+    rejected = registry.counter_value("gateway.rejected")
+    replays = registry.counter_value("gateway.replays")
+    if admitted == 0 and rejected == 0 and replays == 0:
+        return ""
+    settle = registry.histogram("gateway.settle_seconds").summary()
+    depth = registry.gauge("gateway.queue_depth")
+    rows = [
+        ["admitted", admitted],
+        ["settled valid", registry.counter_value("gateway.settled.valid")],
+        ["settled invalid", registry.counter_value("gateway.settled.invalid")],
+        ["rate limited", registry.counter_value("gateway.rejected.rate_limited")],
+        ["shed (queue full)", registry.counter_value("gateway.rejected.queue_full")],
+        ["circuit open rejections",
+         registry.counter_value("gateway.rejected.circuit_open")],
+        ["idempotent replays", replays],
+        ["max admission queue depth", depth.high_water],
+        ["breaker transitions",
+         registry.counter_value("gateway.breaker.transitions")],
+        ["settle latency p50 ms", _ms(settle["p50"])],
+        ["settle latency p95 ms", _ms(settle["p95"])],
+        ["settle latency p99 ms", _ms(settle["p99"])],
+    ]
+    return "== gateway ==\n" + format_table(["metric", "value"], rows)

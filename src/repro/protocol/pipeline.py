@@ -42,6 +42,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.errors import PipelineSaturatedError
 from repro.protocol.coordination import StateCoordinationEngine
 from repro.protocol.events import Event, Output, RunCompleted
 
@@ -95,14 +96,21 @@ class ProposalPipeline:
                  max_batch: int = 64,
                  max_busy_retries: int = 20,
                  base_retry_delay: float = 0.05,
-                 max_retry_delay: float = 1.0) -> None:
+                 max_retry_delay: float = 1.0,
+                 max_depth: "Optional[int]" = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be at least 1 (or None)")
         self.engine = engine
         self.max_batch = max_batch
         self.max_busy_retries = max_busy_retries
         self.base_retry_delay = base_retry_delay
         self.max_retry_delay = max_retry_delay
+        #: Bound on the local queue; None means unbounded.  A busy-retry
+        #: re-queue may transiently exceed it (the entries were already
+        #: admitted); only new submissions are rejected at the bound.
+        self.max_depth = max_depth
         #: Updates awaiting a run, oldest first.
         self._queue: "list[tuple[Any, PipelineTicket]]" = []
         #: The (run_id, entries) of the run this pipeline has in flight.
@@ -155,7 +163,21 @@ class ProposalPipeline:
 
         Never raises for concurrency: contention queues the update and
         the returned ticket resolves when a run carrying it settles.
+        Raises :class:`~repro.errors.PipelineSaturatedError` when the
+        local queue is at ``max_depth`` — explicit backpressure for
+        flooding callers; the update is *not* queued.
         """
+        if (self.max_depth is not None
+                and len(self._queue) >= self.max_depth):
+            obs = self.engine.ctx.obs
+            if obs.enabled:
+                obs.pipeline_saturated(self.engine.party_id,
+                                       self.object_name, len(self._queue))
+            raise PipelineSaturatedError(
+                f"pipeline for {self.object_name!r} is saturated "
+                f"({len(self._queue)} updates queued, max_depth="
+                f"{self.max_depth})"
+            )
         ticket = PipelineTicket(object_name=self.object_name)
         self._queue.append((update, ticket))
         self._observe_depth()

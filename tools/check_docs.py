@@ -32,7 +32,8 @@ SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".claude",
              "node_modules", "results"}
 
 #: Files whose ```python blocks must execute cleanly.
-EXECUTABLE_DOCS = ("README.md", os.path.join("docs", "API.md"))
+EXECUTABLE_DOCS = ("README.md", os.path.join("docs", "API.md"),
+                   os.path.join("docs", "GATEWAY.md"))
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^(```|~~~)")
