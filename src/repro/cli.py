@@ -7,6 +7,9 @@ Usage::
     python -m repro keygen --id OrgA       # generate a signing key pair
     python -m repro simulate [options]     # run a coordination workload
     python -m repro obs-report [options]   # instrumented run + breakdown
+    python -m repro serve-metrics [opts]   # HTTP telemetry endpoint
+    python -m repro top --url URL          # live polling terminal view
+    python -m repro flight-dump --url URL  # fetch the flight recorder ring
     python -m repro audit [options]        # evidence forensics + timeline
     python -m repro demo NAME              # run a built-in demo scenario
 
@@ -325,7 +328,8 @@ def _run_forensic_game(seed: int, latency: float, drop: float,
     return community, objects, rejected, obs, trace_paths
 
 
-def _run_pipeline_burst(seed: int, updates: int, registry) -> None:
+def _run_pipeline_burst(seed: int, updates: int, registry,
+                        flight=None) -> None:
     """Contended pipelined writes: feeds the pipeline report section.
 
     Two proposers submit *updates* each through their write pipelines
@@ -338,7 +342,7 @@ def _run_pipeline_burst(seed: int, updates: int, registry) -> None:
     from repro.crypto.prng import DeterministicRandomSource
     from repro.obs import RecordingInstrumentation
 
-    obs = RecordingInstrumentation(registry=registry)
+    obs = RecordingInstrumentation(registry=registry, flight=flight)
     names = ["Cross", "Nought", "Witness"]
     community = Community(names, seed=seed, obs=obs)
     replicas = {name: DictB2BObject() for name in names}
@@ -367,21 +371,31 @@ def _run_pipeline_burst(seed: int, updates: int, registry) -> None:
 def _cmd_gateway_sim(args: argparse.Namespace) -> int:
     """Closed-loop client load through the gateway on virtual time."""
     from repro.gateway import (
+        CRASH_BREAKER_OPTIONS,
+        CrashInjection,
         LoadSimConfig,
         build_gateway_community,
+        run_crash_scenario,
         run_load_sim,
     )
 
     obs = None
-    if args.obs:
+    if args.obs or args.crash_org:
         from repro.obs import RecordingInstrumentation
 
         obs = RecordingInstrumentation()
+    breaker_options = None
+    if args.crash_org:
+        # A crash only trips the breaker through late settlements, so
+        # the injected-crash run needs a latency threshold on it.
+        breaker_options = dict(CRASH_BREAKER_OPTIONS)
+        breaker_options["latency_threshold"] = args.breaker_latency
     community, gateway, object_name = build_gateway_community(
         orgs=args.parties, seed=args.seed, obs=obs,
         rate=args.rate, burst=args.burst,
         queue_capacity=args.queue_capacity,
         max_inflight=args.max_inflight,
+        breaker=breaker_options,
         pipeline_options={"max_batch": args.max_batch},
     )
     config = LoadSimConfig(
@@ -390,7 +404,17 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         hot_clients=args.hot_clients, hot_factor=args.hot_factor,
         seed=args.seed,
     )
-    stats = run_load_sim(community, gateway, object_name, config)
+    live = None
+    if args.crash_org:
+        crash = CrashInjection(org=args.crash_org, crash_at=args.crash_at,
+                               recover_at=args.recover_at)
+        stats, live = run_crash_scenario(
+            community, gateway, object_name, config, crash,
+            watchdog_interval=args.watchdog,
+            dump_path=args.flight_dump,
+        )
+    else:
+        stats = run_load_sim(community, gateway, object_name, config)
     state = community.node("Org1").controllers[object_name] \
         .b2b_object.get_state()
     summary = stats.summary()
@@ -411,7 +435,26 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
     print(f"  agreed state: applied={state['applied']} "
           f"total={state['total']}")
     print(f"  breakers: {gateway.stats()['breakers']}")
-    if obs is not None:
+    if live is not None:
+        breaker = gateway.breaker(object_name)
+        print(f"  crash injected: {args.crash_org} down "
+              f"{args.crash_at:.2f}s-{args.recover_at:.2f}s (virtual)")
+        print(f"  breaker transitions: "
+              + (", ".join(f"{old}->{new}@{t:.2f}s"
+                           for t, old, new in breaker.transitions) or "-"))
+        print(f"  health alerts: "
+              + (", ".join(f"{a.rule}[{a.severity}]@{a.time:.2f}s"
+                           for a in live.monitor.alerts) or "-"))
+        print(f"  health transitions: "
+              + (", ".join(f"{old}->{new}@{t:.2f}s"
+                           for t, old, new in live.monitor.transitions)
+                 or "-"))
+        print(f"  node health: {community.node('Org1').health()}")
+        if args.flight_dump:
+            print(f"  flight recorder dump ({live.flight.recorded} events "
+                  f"recorded, last {len(live.flight.events())} retained) "
+                  f"written to {args.flight_dump}")
+    if obs is not None and args.obs:
         print()
         print(obs.report())
     community.close()
@@ -429,6 +472,18 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     if args.pipeline_updates > 0:
         _run_pipeline_burst(seed=args.seed, updates=args.pipeline_updates,
                             registry=obs.registry)
+
+    if args.json:
+        # Machine-readable twin of the text report: the registry
+        # snapshot itself, so CI can diff runs structurally.
+        payload = {
+            "seed": args.seed,
+            "transport": args.transport,
+            "vetoed_moves": rejected,
+            "metrics": obs.registry.snapshot(),
+        }
+        print(json.dumps(payload, sort_keys=True, default=str))
+        return 0
 
     game = objects["Witness"]
     board = game.board
@@ -453,6 +508,120 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
             print(f"    trace[{party}]: {path}")
     print()
     print(obs.report())
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """Run an instrumented workload and serve its registry over HTTP."""
+    import time as _time
+
+    from repro.obs import RecordingInstrumentation
+    from repro.obs.live import FlightRecorder, HealthMonitor, TelemetryServer
+
+    obs = RecordingInstrumentation()
+    flight = FlightRecorder(args.flight_capacity)
+    obs.flight = flight
+    for index in range(args.rounds):
+        _run_pipeline_burst(seed=args.seed + index, updates=args.updates,
+                            registry=obs.registry, flight=flight)
+    monitor = HealthMonitor(obs.registry, obs=obs, party="serve-metrics",
+                            interval=args.watchdog, flight=flight)
+    server = TelemetryServer(obs.registry, monitor=monitor, flight=flight,
+                             host=args.host, port=args.port).start()
+    monitor.start()
+    print(f"serving telemetry at {server.url}")
+    print(f"  routes: /metrics /metrics.json /health /flight")
+    print(f"  workload: {args.rounds} pipeline burst round(s), "
+          f"{flight.recorded} flight events recorded")
+    if args.probe:
+        import urllib.request
+
+        for route in ("/metrics", "/metrics.json", "/health", "/flight"):
+            with urllib.request.urlopen(server.url + route,
+                                        timeout=5) as response:
+                body = response.read()
+            print(f"  probe {route}: {response.status} {len(body)} bytes")
+    try:
+        if args.probe and args.duration is None:
+            pass          # one-shot smoke check: probe, then exit cleanly
+        elif args.duration is None:
+            print("  serving until interrupted (Ctrl-C)...")
+            while True:
+                _time.sleep(3600)
+        elif args.duration > 0:
+            _time.sleep(args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        monitor.stop()
+        server.stop()
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll a telemetry endpoint and print a compact live view."""
+    import time as _time
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    header = (f"{'health':10s} {'runs':>6s} {'valid':>6s} {'gw adm':>7s} "
+              f"{'gw rej':>7s} {'retrans':>7s} {'settle p99 ms':>13s} "
+              f"{'alerts':>6s}")
+    iterations = args.iterations
+    count = 0
+    while iterations is None or count < iterations:
+        try:
+            with urllib.request.urlopen(base + "/metrics.json",
+                                        timeout=5) as response:
+                payload = json.loads(response.read())
+        except OSError as exc:
+            print(f"error: cannot reach {base}: {exc}")
+            return 1
+        metrics = payload.get("metrics", {})
+        counters = metrics.get("counters", {})
+        histograms = metrics.get("histograms", {})
+        health = payload.get("health", {})
+        settle = histograms.get("gateway.settle_seconds", {})
+        if count % 20 == 0:
+            print(header)
+        print(f"{health.get('health', 'healthy'):10s} "
+              f"{counters.get('protocol.runs.started', 0):>6d} "
+              f"{counters.get('protocol.runs.valid', 0):>6d} "
+              f"{counters.get('gateway.admitted', 0):>7d} "
+              f"{counters.get('gateway.rejected', 0):>7d} "
+              f"{counters.get('transport.retransmissions', 0):>7d} "
+              f"{settle.get('p99', 0.0) * 1000.0:>13.2f} "
+              f"{len(health.get('alerts', [])):>6d}")
+        count += 1
+        if iterations is None or count < iterations:
+            _time.sleep(args.interval)
+    return 0
+
+
+def _cmd_flight_dump(args: argparse.Namespace) -> int:
+    """Fetch a node's flight-recorder ring as JSONL."""
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/flight"
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            body = response.read()
+    except urllib.error.HTTPError as exc:
+        print(f"error: {url} answered {exc.code} "
+              f"(no flight recorder attached?)")
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {url}: {exc}")
+        return 1
+    text = body.decode("utf-8")
+    events = [line for line in text.splitlines() if line.strip()]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(events)} flight event(s) to {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -643,6 +812,23 @@ def build_parser() -> argparse.ArgumentParser:
     gateway_sim.add_argument("--hot-factor", type=int, default=10)
     gateway_sim.add_argument("--obs", action="store_true",
                              help="record metrics and print the obs report")
+    gateway_sim.add_argument("--crash-org", default=None,
+                             help="inject a crash of this organisation "
+                                  "(e.g. Org2); arms the live telemetry "
+                                  "watchdog on the gateway node")
+    gateway_sim.add_argument("--crash-at", type=float, default=1.0,
+                             help="virtual time of the injected crash")
+    gateway_sim.add_argument("--recover-at", type=float, default=4.0,
+                             help="virtual time of the recovery")
+    gateway_sim.add_argument("--watchdog", type=float, default=0.5,
+                             help="health watchdog evaluation interval "
+                                  "(virtual seconds)")
+    gateway_sim.add_argument("--breaker-latency", type=float, default=1.0,
+                             help="settle-latency threshold (s) that trips "
+                                  "the breaker during the crash run")
+    gateway_sim.add_argument("--flight-dump", default=None,
+                             help="dump the flight-recorder ring to this "
+                                  "JSONL file when a health alert fires")
     gateway_sim.set_defaults(func=_cmd_gateway_sim)
 
     obs_report = sub.add_parser(
@@ -674,7 +860,58 @@ def build_parser() -> argparse.ArgumentParser:
                                  "pipeline burst that follows the game "
                                  "(feeds the proposal-pipeline section; "
                                  "0 disables)")
+    obs_report.add_argument("--json", action="store_true",
+                            help="emit the registry snapshot as JSON "
+                                 "instead of the text report")
     obs_report.set_defaults(func=_cmd_obs_report)
+
+    serve_metrics = sub.add_parser(
+        "serve-metrics",
+        help="run an instrumented workload and serve its metrics "
+             "(Prometheus + JSON) over HTTP",
+    )
+    serve_metrics.add_argument("--host", default="127.0.0.1")
+    serve_metrics.add_argument("--port", type=int, default=0,
+                               help="listen port (0: ephemeral)")
+    serve_metrics.add_argument("--rounds", type=int, default=1,
+                               help="pipeline burst rounds to run before "
+                                    "serving")
+    serve_metrics.add_argument("--updates", type=int, default=8,
+                               help="updates per proposer per round")
+    serve_metrics.add_argument("--seed", type=int, default=0)
+    serve_metrics.add_argument("--watchdog", type=float, default=1.0,
+                               help="health watchdog interval (seconds)")
+    serve_metrics.add_argument("--flight-capacity", type=int, default=2048)
+    serve_metrics.add_argument("--duration", type=float, default=None,
+                               help="serve for this many seconds then exit "
+                                    "(default: until Ctrl-C)")
+    serve_metrics.add_argument("--probe", action="store_true",
+                               help="self-scrape each route once, print the "
+                                    "status and exit unless --duration is "
+                                    "given (smoke check)")
+    serve_metrics.set_defaults(func=_cmd_serve_metrics)
+
+    top = sub.add_parser(
+        "top",
+        help="poll a telemetry endpoint and print a compact live view",
+    )
+    top.add_argument("--url", required=True,
+                     help="base endpoint URL (e.g. http://127.0.0.1:9464)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between polls")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after this many polls (default: forever)")
+    top.set_defaults(func=_cmd_top)
+
+    flight_dump = sub.add_parser(
+        "flight-dump",
+        help="fetch a node's flight-recorder ring as JSONL",
+    )
+    flight_dump.add_argument("--url", required=True,
+                             help="base endpoint URL of the node")
+    flight_dump.add_argument("--out", default=None,
+                             help="write to this file (default: stdout)")
+    flight_dump.set_defaults(func=_cmd_flight_dump)
 
     audit = sub.add_parser(
         "audit",

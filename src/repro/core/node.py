@@ -73,6 +73,7 @@ class OrganisationNode:
         self._pipelines: "dict[str, ProposalPipeline]" = {}
         self._pipeline_timers: "dict[str, TimerHandle]" = {}
         self._gateway: "Optional[Any]" = None
+        self._live: "Optional[Any]" = None
         self._lock = threading.RLock()
         self._join_objects: "dict[str, B2BObject]" = {}
         self._join_modes: "dict[str, str]" = {}
@@ -253,6 +254,32 @@ class OrganisationNode:
 
                 self._gateway = Gateway(self, **options)
             return self._gateway
+
+    def live(self, **options: Any) -> "Any":
+        """This node's live telemetry plane, created on first use.
+
+        *options* (``rules``, ``interval``, ``flight_capacity``,
+        ``dump_path``) configure the
+        :class:`~repro.obs.live.LiveTelemetry` bundle on creation and
+        are ignored once it exists.  Requires the node's context to
+        carry a recording instrumentation (an obs with a registry).
+        """
+        with self._lock:
+            if self._live is None:
+                from repro.obs.live import LiveTelemetry
+
+                self._live = LiveTelemetry(self, **options)
+            return self._live
+
+    def health(self) -> str:
+        """Aggregate node health (``healthy``/``degraded``/``unhealthy``).
+
+        Driven by the live telemetry watchdog; a node without live
+        telemetry reports ``healthy``.
+        """
+        with self._lock:
+            live = self._live
+        return live.health if live is not None else "healthy"
 
     def wait_for_pipeline(self, ticket: PipelineTicket,
                           timeout: "float | None" = None) -> bool:

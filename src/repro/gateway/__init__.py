@@ -12,11 +12,14 @@ from repro.gateway.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.gateway.gateway import Gateway, GatewayTicket
 from repro.gateway.idempotency import IdempotencyCache
 from repro.gateway.loadsim import (
+    CRASH_BREAKER_OPTIONS,
     CounterObject,
+    CrashInjection,
     LoadSim,
     LoadSimConfig,
     LoadSimStats,
     build_gateway_community,
+    run_crash_scenario,
     run_load_sim,
 )
 from repro.gateway.queue import AdmissionQueue
@@ -39,6 +42,9 @@ __all__ = [
     "OPEN",
     "RateLimiter",
     "TokenBucket",
+    "CRASH_BREAKER_OPTIONS",
+    "CrashInjection",
     "build_gateway_community",
+    "run_crash_scenario",
     "run_load_sim",
 ]

@@ -161,7 +161,7 @@ class Gateway:
         self.stats_settled_valid = 0
         self.stats_settled_invalid = 0
         self.stats_rejected: "dict[str, int]" = {
-            "rate_limited": 0, "queue_full": 0, "circuit_open": 0,
+            "rate_limited": 0, "overloaded": 0, "circuit_open": 0,
         }
         node.add_listener(self._on_event)
 
@@ -202,7 +202,7 @@ class Gateway:
             admitted, probe = lane.breaker.allow()
             if not admitted:
                 self._reject(obs, party, object_name, client_id,
-                             "circuit_open")
+                             "circuit_open", lane.breaker.retry_after())
                 raise CircuitOpenError(
                     f"circuit for {object_name!r} is "
                     f"{lane.breaker.state}; failing fast",
@@ -214,7 +214,7 @@ class Gateway:
                     if probe:
                         lane.breaker.release_probe()
                     self._reject(obs, party, object_name, client_id,
-                                 "rate_limited")
+                                 "rate_limited", retry_after)
                     raise RateLimitedError(
                         f"client {client_id!r} exceeded its rate limit",
                         retry_after=retry_after,
@@ -228,7 +228,7 @@ class Gateway:
                 if probe:
                     lane.breaker.release_probe()
                 self._reject(obs, party, object_name, client_id,
-                             "queue_full")
+                             "overloaded", self.shed_retry_after)
                 raise GatewayOverloadedError(
                     f"gateway admission queue for {object_name!r} is full "
                     f"({lane.queue.depth} waiting)",
@@ -305,10 +305,11 @@ class Gateway:
         return lane
 
     def _reject(self, obs: Any, party: str, object_name: str,
-                client_id: str, reason: str) -> None:
+                client_id: str, reason: str, retry_after: float) -> None:
         self.stats_rejected[reason] += 1
         if obs.enabled:
-            obs.gateway_rejected(party, object_name, client_id, reason)
+            obs.gateway_rejected(party, object_name, client_id, reason,
+                                 retry_after)
 
     def _drain(self, object_name: str, lane: _ObjectLane) -> None:
         """Dispatch queued entries into the pipeline, up to max_inflight.

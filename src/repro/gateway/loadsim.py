@@ -241,3 +241,84 @@ def run_load_sim(community: Community, gateway: Any,
                  config: "Optional[LoadSimConfig]" = None) -> LoadSimStats:
     """Convenience wrapper: build a :class:`LoadSim` and run it."""
     return LoadSim(community, gateway, object_name, config).run()
+
+
+# ---------------------------------------------------------------------------
+# crash injection with live telemetry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrashInjection:
+    """One party crash/recovery injected into a load run (virtual time)."""
+
+    org: str
+    crash_at: float = 1.0
+    recover_at: float = 4.0
+
+    def validate(self) -> None:
+        if self.recover_at <= self.crash_at:
+            raise ValueError("recover_at must follow crash_at")
+
+
+#: Breaker options that make a crash visible to the breaker: stalled
+#: runs settle late after recovery, and with a latency threshold those
+#: late settlements trip the circuit (the breaker only records at
+#: settlement, so a pure stall alone never trips it).
+CRASH_BREAKER_OPTIONS = {
+    "latency_threshold": 1.0,
+    "failure_threshold": 3,
+    "reset_timeout": 1.0,
+    "probes": 1,
+}
+
+
+def run_crash_scenario(community: Community, gateway: Any,
+                       object_name: str = DEFAULT_OBJECT,
+                       config: "Optional[LoadSimConfig]" = None,
+                       crash: "Optional[CrashInjection]" = None,
+                       watchdog_interval: float = 0.5,
+                       dump_path: "Optional[str]" = None,
+                       settle_after: float = 2.0
+                       ) -> "tuple[LoadSimStats, Any]":
+    """A load run with an injected party crash, watched live.
+
+    Arms the gateway node's live telemetry plane (breaker watchdog +
+    flight recorder, dumping to *dump_path* when an alert fires),
+    schedules ``crash.org`` to crash and recover on virtual time, runs
+    the closed-loop load, then lets *settle_after* more virtual seconds
+    elapse so the watchdog observes the return to health.  Returns
+    ``(stats, live)`` — ``live.monitor`` holds the alerts and health
+    transitions, ``live.flight`` the recorded events.
+
+    The node must carry a recording instrumentation, and the gateway
+    should be built with :data:`CRASH_BREAKER_OPTIONS` (or an equivalent
+    ``latency_threshold``) for the crash to trip the breaker.
+    """
+    from repro.obs.live import DEGRADED, CounterDeltaRule
+
+    if crash is None:
+        raise ValueError("run_crash_scenario needs a CrashInjection")
+    crash.validate()
+    node = gateway.node
+    # Watch the breaker alone: the scenario's health story is the trip
+    # and the recovery, not the (expected) stall noise while the victim
+    # is down.
+    rules = [CounterDeltaRule(
+        "breaker_flap", "gateway.breaker.transitions", 0.0,
+        severity=DEGRADED, message="circuit breaker changed state")]
+    live = node.live(rules=rules, interval=watchdog_interval,
+                     dump_path=dump_path)
+    live.start()
+    network = community.runtime.network
+    victim = community.node(crash.org)
+    network.schedule(crash.crash_at, victim.crash)
+    network.schedule(crash.recover_at, victim.recover)
+    try:
+        stats = run_load_sim(community, gateway, object_name, config)
+        # Let the watchdog see quiet intervals after the last breaker
+        # movement so aggregate health returns to healthy.
+        community.runtime.settle(settle_after)
+    finally:
+        live.stop()
+    return stats, live

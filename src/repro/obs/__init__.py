@@ -1,6 +1,6 @@
 """``repro.obs`` — structured tracing and metrics for the middleware.
 
-The subsystem has five parts:
+The subsystem has six parts:
 
 * :mod:`repro.obs.metrics` — counters, gauges and streaming histograms
   in a :class:`MetricsRegistry` (the one statistics implementation);
@@ -13,7 +13,11 @@ The subsystem has five parts:
   :class:`RecordingInstrumentation` as the recording implementation;
 * :mod:`repro.obs.merge` — offline merging of per-party trace files
   into one Lamport-ordered causal timeline with anomaly detection;
-* :mod:`repro.obs.audit` — evidence forensics behind ``repro audit``.
+* :mod:`repro.obs.audit` — evidence forensics behind ``repro audit``;
+* :mod:`repro.obs.live` — the live telemetry plane: per-node
+  Prometheus/JSON export endpoint, online SLO watchdogs driving an
+  aggregate node health state, and a bounded flight recorder for
+  crash-time event dumps.
 
 See ``docs/OBSERVABILITY.md`` for the hook and metric catalogue.
 """
@@ -25,6 +29,7 @@ from repro.obs.hooks import (
     PHASE_M3,
     Instrumentation,
     approx_size,
+    approx_size_cached,
 )
 from repro.obs.merge import (
     Anomaly,
@@ -42,8 +47,18 @@ from repro.obs.metrics import (
     exact_quantile,
     summarise,
 )
+from repro.obs.live import (
+    FlightRecorder,
+    HealthAlert,
+    HealthMonitor,
+    HealthRule,
+    LiveTelemetry,
+    TelemetryServer,
+    default_rules,
+    render_prometheus,
+)
 from repro.obs.recording import RecordingInstrumentation
-from repro.obs.report import format_table, render_report
+from repro.obs.report import format_table, render_report, render_snapshot
 from repro.obs.trace import (
     InMemoryCollector,
     JsonLinesExporter,
@@ -80,15 +95,25 @@ __all__ = [
     "PHASE_M3",
     "Instrumentation",
     "approx_size",
+    "approx_size_cached",
     "Counter",
     "Gauge",
     "MetricsRegistry",
     "StreamingHistogram",
     "exact_quantile",
     "summarise",
+    "FlightRecorder",
+    "HealthAlert",
+    "HealthMonitor",
+    "HealthRule",
+    "LiveTelemetry",
+    "TelemetryServer",
+    "default_rules",
+    "render_prometheus",
     "RecordingInstrumentation",
     "format_table",
     "render_report",
+    "render_snapshot",
     "InMemoryCollector",
     "JsonLinesExporter",
     "TraceRecord",

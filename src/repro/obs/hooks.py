@@ -26,14 +26,113 @@ SENT = "sent"
 RECEIVED = "received"
 
 
-def approx_size(value) -> int:
-    """Canonical-encoding size of a message, 0 when unencodable."""
-    from repro.util.encoding import canonical_bytes
+# Decimal digits per bit, for sizing integers without str() allocation.
+_DIGITS_PER_BIT = 0.30103
 
+
+def _approx(value) -> int:
+    # Exact-type dispatch with scalar leaves inlined in the container
+    # loops: this walks every protocol message when recording, so per-
+    # node function calls and isinstance chains are what it must avoid.
+    kind = type(value)
+    if kind is str:
+        return len(value) + 2
+    if kind is bool:
+        return 4 if value else 5
+    if kind is int:
+        return 1 + int(value.bit_length() * _DIGITS_PER_BIT) + (value < 0)
+    if value is None:
+        return 4
+    if kind is dict:
+        total = 2 + max(0, len(value) - 1)
+        for key, item in value.items():
+            if type(key) is not str:
+                raise TypeError("canonical encoding requires str keys")
+            inner = type(item)
+            if inner is str:
+                total += len(key) + len(item) + 5
+            elif inner is int:
+                total += (len(key) + 4 + (item < 0)
+                          + int(item.bit_length() * _DIGITS_PER_BIT))
+            else:
+                total += len(key) + 3 + _approx(item)
+        return total
+    if kind is list or kind is tuple:
+        total = 2 + max(0, len(value) - 1)
+        for item in value:
+            inner = type(item)
+            if inner is str:
+                total += len(item) + 2
+            elif inner is int:
+                total += (1 + int(item.bit_length() * _DIGITS_PER_BIT)
+                          + (item < 0))
+            else:
+                total += _approx(item)
+        return total
+    if kind is bytes:
+        # {"__b64__":"<base64>"} wrapper around the padded encoding.
+        return 14 + 4 * ((len(value) + 2) // 3)
+    if kind is float:
+        # {"__float__":"<repr>"} wrapper.
+        return 15 + len(repr(value))
+    if isinstance(value, (str, int, dict, list, tuple, bytes, float)):
+        # Subclasses (rare in protocol data) take the generic path.
+        if isinstance(value, str):
+            return len(value) + 2
+        if isinstance(value, bool):
+            return 4 if value else 5
+        if isinstance(value, int):
+            return (1 + int(value.bit_length() * _DIGITS_PER_BIT)
+                    + (value < 0))
+        if isinstance(value, dict):
+            return _approx(dict(value))
+        if isinstance(value, (list, tuple)):
+            return _approx(list(value))
+        if isinstance(value, bytes):
+            return 14 + 4 * ((len(value) + 2) // 3)
+        return 15 + len(repr(float(value)))
+    raise TypeError("not canonically encodable")
+
+
+def approx_size(value) -> int:
+    """Approximate canonical-encoding size of a message, 0 when unencodable.
+
+    Structural estimate of ``len(canonical_bytes(value))`` — exact for
+    ASCII payloads bar integer-digit rounding — computed without
+    serialising anything: this runs on the protocol hot path for every
+    message when instrumentation is recording, and a full JSON encode
+    per event is where an instrumented run loses most of its time.
+    """
     try:
-        return len(canonical_bytes(value))
-    except (TypeError, ValueError):
+        return _approx(value)
+    except TypeError:
         return 0
+
+
+#: Single-slot identity memo for :func:`approx_size_cached`.  Holding a
+#: strong reference to the last-sized object pins it, so its id cannot
+#: be recycled while the memo entry is alive — an ``is`` hit is always
+#: the same object, never a lookalike at a reused address.
+_last_sized: "tuple | None" = None
+
+
+def approx_size_cached(value) -> int:
+    """:func:`approx_size` with a memo for the immediately-repeated case.
+
+    A protocol broadcast shares one message dict between the sender's
+    accounting and (in-process transports) every recipient's, so the
+    same object is sized several times in a row.  The memo only ever
+    remembers the most recent object: sized dicts are treated as frozen
+    by the protocol layer once they are on the wire, and a single slot
+    cannot go stale across unrelated messages.
+    """
+    global _last_sized
+    memo = _last_sized
+    if memo is not None and memo[0] is value:
+        return memo[1]
+    size = approx_size(value)
+    _last_sized = (value, size)
+    return size
 
 
 class Instrumentation:
@@ -117,12 +216,13 @@ class Instrumentation:
         """A client request passed admission into the gateway queue."""
 
     def gateway_rejected(self, party: str, object_name: str, client: str,
-                         reason: str) -> None:
+                         reason: str, retry_after: float = 0.0) -> None:
         """A client request was refused pre-coordination.
 
         *reason* is one of ``"rate_limited"`` (token bucket empty),
-        ``"queue_full"`` (shed by load leveling) or ``"circuit_open"``
-        (failing fast on a degraded community).
+        ``"overloaded"`` (shed by load leveling) or ``"circuit_open"``
+        (failing fast on a degraded community); *retry_after* is the
+        back-off the client was told to observe, in seconds.
         """
 
     def gateway_replayed(self, party: str, object_name: str,
@@ -141,6 +241,21 @@ class Instrumentation:
     def breaker_transition(self, party: str, object_name: str,
                            old_state: str, new_state: str) -> None:
         """A community circuit breaker changed state (closed/open/half_open)."""
+
+    # -- online health (obs/live/health.py) --------------------------------
+
+    def health_alert(self, party: str, rule: str, severity: str,
+                     message: str, value: float, threshold: float) -> None:
+        """An online SLO watchdog rule started firing at this node.
+
+        *severity* is ``"degraded"`` or ``"unhealthy"``; *value* is the
+        observed reading that crossed *threshold*.  Fired once per firing
+        episode (not on every evaluation while the rule stays red).
+        """
+
+    def health_changed(self, party: str, old_state: str,
+                       new_state: str) -> None:
+        """A node's aggregate health moved (healthy/degraded/unhealthy)."""
 
     # -- transport (reliable.py / tcp.py) ----------------------------------
 

@@ -85,6 +85,10 @@ class Counter:
     def value(self) -> int:
         return self._value
 
+    def snapshot(self) -> int:
+        with self._lock:
+            return self._value
+
 
 class Gauge:
     """Last-written value plus its high-water mark."""
@@ -111,6 +115,11 @@ class Gauge:
     @property
     def high_water(self) -> float:
         return self._high_water
+
+    def snapshot(self) -> dict:
+        """Value and high-water mark read under one lock acquisition."""
+        with self._lock:
+            return {"value": self._value, "high_water": self._high_water}
 
 
 class StreamingHistogram:
@@ -170,35 +179,89 @@ class StreamingHistogram:
     def maximum(self) -> float:
         return self._max if self.count else 0.0
 
-    def quantile(self, fraction: float) -> float:
-        if self.count == 0:
+    def _state(self) -> "tuple[int, float, float, float, int, dict]":
+        """One lock-consistent copy of the mutable fields.
+
+        Everything derived (quantiles, summaries, snapshots) computes from
+        a copy taken under the lock, so a concurrent ``observe`` can never
+        produce a torn read (count/total/buckets from different moments).
+        """
+        with self._lock:
+            return (self.count, self.total, self._min, self._max,
+                    self._nonpositive, dict(self._buckets))
+
+    def _quantile_of(self, state, fraction: float) -> float:
+        count, _total, minimum, maximum, nonpositive, buckets = state
+        if count == 0:
             return 0.0
+        minimum = minimum if count else 0.0
+        maximum = maximum if count else 0.0
         if fraction <= 0.0:
-            return self.minimum
+            return minimum
         if fraction >= 1.0:
-            return self.maximum
-        target = fraction * self.count
-        seen = self._nonpositive
+            return maximum
+        target = fraction * count
+        seen = nonpositive
         if seen >= target:
-            return min(0.0, self.maximum)
-        for index in sorted(self._buckets):
-            seen += self._buckets[index]
+            return min(0.0, maximum)
+        for index in sorted(buckets):
+            seen += buckets[index]
             if seen >= target:
                 # Geometric midpoint of the bucket's bounds.
                 estimate = self._growth ** (index + 0.5)
-                return max(self.minimum, min(estimate, self.maximum))
-        return self.maximum
+                return max(minimum, min(estimate, maximum))
+        return maximum
+
+    def quantile(self, fraction: float) -> float:
+        return self._quantile_of(self._state(), fraction)
+
+    def _quantiles_of(self, state, fractions: "tuple[float, ...]") -> "list[float]":
+        """All *fractions* (ascending, in (0, 1)) from one bucket walk.
+
+        Equivalent to calling :meth:`_quantile_of` per fraction, but the
+        bucket keys are sorted and scanned once — snapshots run on every
+        exporter scrape, so the read side should not redo the walk per
+        quantile.
+        """
+        count, _total, minimum, maximum, nonpositive, buckets = state
+        if count == 0:
+            return [0.0] * len(fractions)
+        targets = [fraction * count for fraction in fractions]
+        results: "list[float]" = []
+        seen = nonpositive
+        while len(results) < len(targets) and seen >= targets[len(results)]:
+            results.append(min(0.0, maximum))
+        if len(results) < len(targets):
+            for index in sorted(buckets):
+                seen += buckets[index]
+                while (len(results) < len(targets)
+                       and seen >= targets[len(results)]):
+                    estimate = self._growth ** (index + 0.5)
+                    results.append(max(minimum, min(estimate, maximum)))
+                if len(results) == len(targets):
+                    break
+        while len(results) < len(targets):
+            results.append(maximum)
+        return results
+
+    def snapshot(self) -> dict:
+        """Summary statistics from one lock-consistent state copy."""
+        state = self._state()
+        count, total = state[0], state[1]
+        p50, p95, p99 = self._quantiles_of(state, (0.50, 0.95, 0.99))
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": state[2] if count else 0.0,
+            "max": state[3] if count else 0.0,
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+        }
 
     def summary(self) -> dict:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.minimum,
-            "max": self.maximum,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-        }
+        return self.snapshot()
 
 
 class MetricsRegistry:
@@ -210,7 +273,14 @@ class MetricsRegistry:
         self._gauges: "dict[str, Gauge]" = {}
         self._histograms: "dict[str, StreamingHistogram]" = {}
 
+    # Lookups fast-path around the lock: dict reads are atomic under the
+    # GIL and instruments are never removed, so a hit needs no lock and
+    # only creation synchronises.
+
     def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is not None:
+            return instrument
         with self._lock:
             instrument = self._counters.get(name)
             if instrument is None:
@@ -218,6 +288,9 @@ class MetricsRegistry:
             return instrument
 
     def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is not None:
+            return instrument
         with self._lock:
             instrument = self._gauges.get(name)
             if instrument is None:
@@ -225,6 +298,9 @@ class MetricsRegistry:
             return instrument
 
     def histogram(self, name: str, growth: float = 1.05) -> StreamingHistogram:
+        instrument = self._histograms.get(name)
+        if instrument is not None:
+            return instrument
         with self._lock:
             instrument = self._histograms.get(name)
             if instrument is None:
@@ -240,16 +316,31 @@ class MetricsRegistry:
         return instrument.value if instrument is not None else 0
 
     def counters(self) -> "dict[str, int]":
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        with self._lock:
+            instruments = sorted(self._counters.items())
+        return {name: c.snapshot() for name, c in instruments}
 
     def gauges(self) -> "dict[str, dict]":
-        return {name: {"value": g.value, "high_water": g.high_water}
-                for name, g in sorted(self._gauges.items())}
+        with self._lock:
+            instruments = sorted(self._gauges.items())
+        return {name: g.snapshot() for name, g in instruments}
 
     def histograms(self) -> "dict[str, dict]":
-        return {name: h.summary() for name, h in sorted(self._histograms.items())}
+        with self._lock:
+            instruments = sorted(self._histograms.items())
+        return {name: h.snapshot() for name, h in instruments}
 
     def snapshot(self) -> dict:
+        """Registry-wide snapshot, safe against concurrent writers.
+
+        The instrument maps are copied under the registry lock (so an
+        instrument created mid-snapshot cannot corrupt iteration) and each
+        instrument then snapshots itself under its own lock, so every
+        individual reading is internally consistent — a histogram's count,
+        sum and quantiles always describe the same set of observations.
+        Readings across *different* instruments remain only approximately
+        simultaneous; that is the documented granularity.
+        """
         return {
             "counters": self.counters(),
             "gauges": self.gauges(),

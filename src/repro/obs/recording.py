@@ -5,6 +5,14 @@ Maps every hook onto registry instruments (see the catalogue in
 records.  One instance is shared by all parties of a community, so the
 registry aggregates across the whole deployment; per-party attribution
 lives in the trace records.
+
+When a :class:`~repro.obs.live.flight.FlightRecorder` is attached
+(``flight=`` or the ``flight`` attribute), the coarse-grained events —
+run lifecycle, protocol messages, gateway admissions/rejections, breaker
+transitions, retransmissions, health alerts — are also appended to its
+ring for post-mortem dumps.  Per-message hot counters (acks, queue
+depths, raw sends) stay registry-only to keep ring churn proportional to
+interesting activity.
 """
 
 from __future__ import annotations
@@ -23,13 +31,32 @@ class RecordingInstrumentation(Instrumentation):
 
     def __init__(self, registry: "MetricsRegistry | None" = None,
                  tracer: "Tracer | None" = None,
-                 collect: bool = False) -> None:
+                 collect: bool = False,
+                 flight=None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.flight = flight
         self.collector: "Optional[InMemoryCollector]" = None
         if collect:
             self.collector = InMemoryCollector()
             self.tracer.add_exporter(self.collector)
+        # Per-(phase, direction) counter tuples for the hottest hook:
+        # skips two f-string builds and three registry lookups per
+        # protocol message.
+        self._msg_counters: "dict[tuple[str, str], tuple]" = {}
+        # Bound-instrument tuples for the other per-message hooks,
+        # built on first use so an instrument only exists once its hook
+        # has actually fired (snapshots stay free of zero-value noise).
+        self._transport_instruments: "tuple | None" = None
+        self._journal_instruments: "tuple | None" = None
+        self._evidence_instruments: "tuple | None" = None
+        self._sign_instruments: "tuple | None" = None
+        self._verify_instruments: "tuple | None" = None
+        self._causal_counter = None
+        self._queue_gauge = None
+        self._ack_counter = None
+        self._pipeline_gauge = None
+        self._phase_histograms: "dict[str, object]" = {}
 
     # -- protocol ----------------------------------------------------------
 
@@ -38,6 +65,10 @@ class RecordingInstrumentation(Instrumentation):
         self.registry.counter(f"protocol.runs.started.{role}").inc()
         self.tracer.event("run.started", party=party, object=object_name,
                           run_id=run_id, role=role, mode=mode)
+        if self.flight is not None:
+            self.flight.record("run_started", party=party,
+                               object=object_name, run_id=run_id,
+                               role=role, mode=mode)
 
     def run_settled(self, party, object_name, run_id, role, outcome, seconds):
         self.registry.counter(f"protocol.runs.{outcome}").inc()
@@ -46,15 +77,34 @@ class RecordingInstrumentation(Instrumentation):
         self.tracer.span_end("run.settled", seconds, party=party,
                              object=object_name, run_id=run_id, role=role,
                              outcome=outcome)
+        if self.flight is not None:
+            self.flight.record("run_settled", party=party,
+                               object=object_name, run_id=run_id, role=role,
+                               outcome=outcome, seconds=seconds)
 
     def protocol_message(self, party, object_name, run_id, phase,
                          direction, size):
-        self.registry.counter(f"protocol.{phase}.{direction}").inc()
-        self.registry.counter(f"protocol.{phase}.bytes_{direction}").inc(size)
-        self.registry.counter(f"protocol.messages.{direction}").inc()
+        counters = self._msg_counters.get((phase, direction))
+        if counters is None:
+            counters = self._msg_counters[(phase, direction)] = (
+                self.registry.counter(f"protocol.{phase}.{direction}"),
+                self.registry.counter(f"protocol.{phase}.bytes_{direction}"),
+                self.registry.counter(f"protocol.messages.{direction}"),
+            )
+        counters[0].inc()
+        counters[1].inc(size)
+        counters[2].inc()
+        if self.flight is not None:
+            self.flight.record("protocol_message", party=party,
+                               object=object_name, run_id=run_id,
+                               phase=phase, direction=direction, size=size)
 
     def phase_handled(self, party, object_name, phase, seconds):
-        self.registry.histogram(f"protocol.{phase}.handle_seconds").observe(seconds)
+        histogram = self._phase_histograms.get(phase)
+        if histogram is None:
+            histogram = self._phase_histograms[phase] = self.registry.histogram(
+                f"protocol.{phase}.handle_seconds")
+        histogram.observe(seconds)
         self.tracer.span_end("phase.handle", seconds, party=party,
                              object=object_name, phase=phase)
 
@@ -66,12 +116,20 @@ class RecordingInstrumentation(Instrumentation):
                           object=object_name, run_id=run_id,
                           accepted=accepted,
                           diagnostics=len(diagnostics))
+        if self.flight is not None:
+            self.flight.record("validation", party=party, object=object_name,
+                               run_id=run_id, accepted=accepted,
+                               diagnostics=list(diagnostics))
 
     # -- causal tracing ----------------------------------------------------
 
     def causal_message(self, party, object_name, run_id, phase, direction,
                        peer, trace_id, span_id, parent_span_id, lamport):
-        self.registry.counter("trace.causal.messages").inc()
+        counter = self._causal_counter
+        if counter is None:
+            counter = self._causal_counter = self.registry.counter(
+                "trace.causal.messages")
+        counter.inc()
         self.tracer.event("causal.message", party=party, object=object_name,
                           run_id=run_id, phase=phase, direction=direction,
                           peer=peer, trace_id=trace_id, span_id=span_id,
@@ -98,29 +156,54 @@ class RecordingInstrumentation(Instrumentation):
         self.registry.histogram("pipeline.batch_size").observe(size)
         self.tracer.event("pipeline.batch", party=party, object=object_name,
                           run_id=run_id, size=size)
+        if self.flight is not None:
+            self.flight.record("batch_proposed", party=party,
+                               object=object_name, run_id=run_id, size=size)
 
     def pipeline_depth(self, party, object_name, depth):
-        self.registry.gauge("pipeline.depth").set(depth)
+        gauge = self._pipeline_gauge
+        if gauge is None:
+            gauge = self._pipeline_gauge = self.registry.gauge("pipeline.depth")
+        gauge.set(depth)
 
     def pipeline_busy_retry(self, party, object_name, attempt):
         self.registry.counter("pipeline.busy_retries").inc()
         self.tracer.event("pipeline.retry", party=party, object=object_name,
                           attempt=attempt)
+        if self.flight is not None:
+            self.flight.record("pipeline_busy_retry", party=party,
+                               object=object_name, attempt=attempt)
 
     def pipeline_saturated(self, party, object_name, depth):
         self.registry.counter("pipeline.saturated").inc()
+        if self.flight is not None:
+            self.flight.record("pipeline_saturated", party=party,
+                               object=object_name, depth=depth)
 
     # -- gateway -----------------------------------------------------------
 
     def gateway_admitted(self, party, object_name, client):
         self.registry.counter("gateway.admitted").inc()
+        if self.flight is not None:
+            self.flight.record("gateway_admitted", party=party,
+                               object=object_name, client=client)
 
-    def gateway_rejected(self, party, object_name, client, reason):
+    def gateway_rejected(self, party, object_name, client, reason,
+                         retry_after=0.0):
         self.registry.counter("gateway.rejected").inc()
         self.registry.counter(f"gateway.rejected.{reason}").inc()
+        self.registry.histogram("gateway.retry_after_seconds").observe(
+            retry_after)
+        if self.flight is not None:
+            self.flight.record("gateway_rejected", party=party,
+                               object=object_name, client=client,
+                               reason=reason, retry_after=retry_after)
 
     def gateway_replayed(self, party, object_name, client):
         self.registry.counter("gateway.replays").inc()
+        if self.flight is not None:
+            self.flight.record("gateway_replayed", party=party,
+                               object=object_name, client=client)
 
     def gateway_queue_depth(self, party, object_name, depth):
         self.registry.gauge("gateway.queue_depth").set(depth)
@@ -129,6 +212,10 @@ class RecordingInstrumentation(Instrumentation):
         verdict = "valid" if valid else "invalid"
         self.registry.counter(f"gateway.settled.{verdict}").inc()
         self.registry.histogram("gateway.settle_seconds").observe(seconds)
+        if self.flight is not None:
+            self.flight.record("gateway_settled", party=party,
+                               object=object_name, valid=valid,
+                               seconds=seconds)
 
     def breaker_transition(self, party, object_name, old_state, new_state):
         self.registry.counter("gateway.breaker.transitions").inc()
@@ -136,34 +223,85 @@ class RecordingInstrumentation(Instrumentation):
             f"gateway.breaker.{old_state}->{new_state}").inc()
         self.tracer.event("gateway.breaker", party=party, object=object_name,
                           old=old_state, new=new_state)
+        if self.flight is not None:
+            self.flight.record("breaker_transition", party=party,
+                               object=object_name, old=old_state,
+                               new=new_state)
+
+    # -- online health -----------------------------------------------------
+
+    def health_alert(self, party, rule, severity, message, value, threshold):
+        self.registry.counter("health.alerts").inc()
+        self.registry.counter(f"health.alerts.{rule}").inc()
+        self.tracer.event("health.alert", party=party, rule=rule,
+                          severity=severity, message=message, value=value,
+                          threshold=threshold)
+        if self.flight is not None:
+            self.flight.record("health_alert", party=party, rule=rule,
+                               severity=severity, message=message,
+                               value=value, threshold=threshold)
+
+    def health_changed(self, party, old_state, new_state):
+        self.registry.counter("health.transitions").inc()
+        self.registry.counter(f"health.{old_state}->{new_state}").inc()
+        self.tracer.event("health.changed", party=party, old=old_state,
+                          new=new_state)
+        if self.flight is not None:
+            self.flight.record("health_changed", party=party,
+                               old=old_state, new=new_state)
 
     # -- transport ---------------------------------------------------------
 
     def message_sent(self, party, recipient, size):
-        self.registry.counter("transport.data_sent").inc()
-        self.registry.counter("transport.bytes_sent").inc(size)
+        counters = self._transport_instruments
+        if counters is None:
+            counters = self._transport_instruments = (
+                self.registry.counter("transport.data_sent"),
+                self.registry.counter("transport.bytes_sent"),
+            )
+        counters[0].inc()
+        counters[1].inc(size)
 
     def retransmission(self, party, recipient, msg_id, attempt):
         self.registry.counter("transport.retransmissions").inc()
         self.tracer.event("transport.retransmission", party=party,
                           peer=recipient, msg_id=msg_id, attempt=attempt)
+        if self.flight is not None:
+            self.flight.record("retransmission", party=party,
+                               peer=recipient, msg_id=msg_id,
+                               attempt=attempt)
 
     def retry_exhausted(self, party, recipient, msg_id, attempts):
         self.registry.counter("transport.retry_exhausted").inc()
         self.tracer.event("transport.retry_exhausted", party=party,
                           recipient=recipient, msg_id=msg_id,
                           attempts=attempts)
+        if self.flight is not None:
+            self.flight.record("retry_exhausted", party=party,
+                               peer=recipient, msg_id=msg_id,
+                               attempts=attempts)
 
     def duplicate_suppressed(self, party, sender, msg_id):
         self.registry.counter("transport.duplicates_suppressed").inc()
         self.tracer.event("transport.duplicate", party=party,
                           peer=sender, msg_id=msg_id)
+        if self.flight is not None:
+            self.flight.record("duplicate_suppressed", party=party,
+                               peer=sender, msg_id=msg_id)
 
     def ack_received(self, party, msg_id):
-        self.registry.counter("transport.acks_received").inc()
+        counter = self._ack_counter
+        if counter is None:
+            counter = self._ack_counter = self.registry.counter(
+                "transport.acks_received")
+        counter.inc()
 
     def queue_depth(self, party, depth):
-        self.registry.gauge("transport.queue_depth").set(depth)
+        gauge = self._queue_gauge
+        if gauge is None:
+            gauge = self._queue_gauge = self.registry.gauge(
+                "transport.queue_depth")
+        gauge.set(depth)
 
     def raw_send(self, sender, recipient, size, ok):
         self.registry.counter("transport.raw.sent").inc()
@@ -176,12 +314,17 @@ class RecordingInstrumentation(Instrumentation):
         if reconnect:
             self.registry.counter("transport.tcp.reconnects").inc()
             self.tracer.event("transport.reconnect", party=party, peer=peer)
+        if self.flight is not None:
+            self.flight.record("connection_opened", party=party, peer=peer,
+                               reconnect=reconnect)
 
     def connection_reused(self, party, peer):
         self.registry.counter("transport.tcp.connections_reused").inc()
 
     def connection_failed(self, party, peer):
         self.registry.counter("transport.tcp.connect_failures").inc()
+        if self.flight is not None:
+            self.flight.record("connection_failed", party=party, peer=peer)
 
     def frames_coalesced(self, party, peer, frames):
         self.registry.counter("transport.tcp.batches").inc()
@@ -194,14 +337,26 @@ class RecordingInstrumentation(Instrumentation):
     # -- crypto ------------------------------------------------------------
 
     def sign_timing(self, party, scheme, size, seconds):
-        self.registry.counter("crypto.sign.count").inc()
-        self.registry.histogram("crypto.sign_seconds").observe(seconds)
+        instruments = self._sign_instruments
+        if instruments is None:
+            instruments = self._sign_instruments = (
+                self.registry.counter("crypto.sign.count"),
+                self.registry.histogram("crypto.sign_seconds"),
+            )
+        instruments[0].inc()
+        instruments[1].observe(seconds)
 
     def verify_timing(self, scheme, size, seconds, ok):
-        self.registry.counter("crypto.verify.count").inc()
+        instruments = self._verify_instruments
+        if instruments is None:
+            instruments = self._verify_instruments = (
+                self.registry.counter("crypto.verify.count"),
+                self.registry.histogram("crypto.verify_seconds"),
+            )
+        instruments[0].inc()
         if not ok:
             self.registry.counter("crypto.verify.failures").inc()
-        self.registry.histogram("crypto.verify_seconds").observe(seconds)
+        instruments[1].observe(seconds)
 
     def keygen_timing(self, bits, attempts, seconds):
         self.registry.counter("crypto.keygen.count").inc()
@@ -211,17 +366,31 @@ class RecordingInstrumentation(Instrumentation):
     # -- storage -----------------------------------------------------------
 
     def journal_append(self, party, run_id, direction, size, seconds):
-        self.registry.counter("storage.journal.appends").inc()
-        self.registry.counter("storage.journal.bytes").inc(size)
-        self.registry.histogram("storage.journal.append_seconds").observe(seconds)
+        instruments = self._journal_instruments
+        if instruments is None:
+            instruments = self._journal_instruments = (
+                self.registry.counter("storage.journal.appends"),
+                self.registry.counter("storage.journal.bytes"),
+                self.registry.histogram("storage.journal.append_seconds"),
+            )
+        instruments[0].inc()
+        instruments[1].inc(size)
+        instruments[2].observe(seconds)
 
     def journal_closed(self, party, run_id, outcome):
         self.registry.counter("storage.journal.closed").inc()
 
     def evidence_append(self, party, kind, size, seconds):
-        self.registry.counter("storage.evidence.appends").inc()
-        self.registry.counter("storage.evidence.bytes").inc(size)
-        self.registry.histogram("storage.evidence.append_seconds").observe(seconds)
+        instruments = self._evidence_instruments
+        if instruments is None:
+            instruments = self._evidence_instruments = (
+                self.registry.counter("storage.evidence.appends"),
+                self.registry.counter("storage.evidence.bytes"),
+                self.registry.histogram("storage.evidence.append_seconds"),
+            )
+        instruments[0].inc()
+        instruments[1].inc(size)
+        instruments[2].observe(seconds)
 
     # -- dispute resolution ------------------------------------------------
 

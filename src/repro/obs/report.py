@@ -1,10 +1,18 @@
-"""Plain-text reporting over a metrics registry.
+"""Plain-text reporting over a metrics registry or a captured snapshot.
 
 ``render_report`` produces the per-phase breakdown the CLI's
 ``obs-report`` command and the benchmark ``--obs`` path print: protocol
 message/byte counts and handling spans per phase (m1/m2/m3), sign/verify
 latency histograms, transport reliability counters and storage append
 statistics.
+
+Sections render from a registry *snapshot* (the dict shape of
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`), not from live
+instruments — so ``render_snapshot`` works equally on a running node, on
+the JSON payload scraped from a telemetry endpoint, or on a snapshot
+captured hours earlier.  Every accessor tolerates missing instruments: a
+subsystem that never ran renders zeros, never a KeyError or a division
+by zero.
 """
 
 from __future__ import annotations
@@ -13,6 +21,10 @@ from repro.obs.hooks import PHASE_M1, PHASE_M2, PHASE_M3
 from repro.obs.metrics import MetricsRegistry
 
 PHASES = (PHASE_M1, PHASE_M2, PHASE_M3)
+
+_EMPTY_HIST = {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+               "p50": 0.0, "p95": 0.0, "p99": 0.0}
+_EMPTY_GAUGE = {"value": 0.0, "high_water": 0.0}
 
 
 def format_table(headers: "list[str]", rows: "list[list]") -> str:
@@ -41,29 +53,61 @@ def _ms(seconds: float) -> float:
     return seconds * 1000.0
 
 
+# -- snapshot accessors (missing-instrument safe) --------------------------
+
+
+def _c(snapshot: dict, name: str) -> int:
+    return snapshot.get("counters", {}).get(name, 0)
+
+
+def _g(snapshot: dict, name: str) -> dict:
+    entry = snapshot.get("gauges", {}).get(name)
+    return entry if entry else dict(_EMPTY_GAUGE)
+
+
+def _h(snapshot: dict, name: str) -> dict:
+    merged = dict(_EMPTY_HIST)
+    entry = snapshot.get("histograms", {}).get(name)
+    if entry:
+        merged.update(entry)
+    return merged
+
+
 def render_report(registry: MetricsRegistry) -> str:
     """The full observability report for one instrumented run."""
+    return render_snapshot(registry.snapshot())
+
+
+def render_snapshot(snapshot: dict, health: "dict | None" = None) -> str:
+    """Render a captured registry snapshot (optionally with health status).
+
+    *snapshot* is ``MetricsRegistry.snapshot()`` output — live, scraped
+    from ``/metrics.json``, or loaded from a file.  *health* is an
+    optional ``HealthMonitor.status()`` dict appended as its own
+    section.
+    """
     sections = [
-        _phase_section(registry),
-        _crypto_section(registry),
-        _transport_section(registry),
-        _storage_section(registry),
-        _run_section(registry),
-        _pipeline_section(registry),
-        _gateway_section(registry),
+        _phase_section(snapshot),
+        _crypto_section(snapshot),
+        _transport_section(snapshot),
+        _storage_section(snapshot),
+        _run_section(snapshot),
+        _pipeline_section(snapshot),
+        _gateway_section(snapshot),
+        _health_section(health),
     ]
     return "\n\n".join(section for section in sections if section)
 
 
-def _phase_section(registry: MetricsRegistry) -> str:
+def _phase_section(snapshot: dict) -> str:
     rows = []
     for phase in PHASES:
-        handle = registry.histogram(f"protocol.{phase}.handle_seconds").summary()
+        handle = _h(snapshot, f"protocol.{phase}.handle_seconds")
         rows.append([
             phase,
-            registry.counter_value(f"protocol.{phase}.sent"),
-            registry.counter_value(f"protocol.{phase}.received"),
-            registry.counter_value(f"protocol.{phase}.bytes_sent"),
+            _c(snapshot, f"protocol.{phase}.sent"),
+            _c(snapshot, f"protocol.{phase}.received"),
+            _c(snapshot, f"protocol.{phase}.bytes_sent"),
             handle["count"],
             _ms(handle["p50"]),
             _ms(handle["p95"]),
@@ -77,10 +121,10 @@ def _phase_section(registry: MetricsRegistry) -> str:
     return "== protocol phases (m1 propose / m2 respond / m3 commit) ==\n" + table
 
 
-def _crypto_section(registry: MetricsRegistry) -> str:
+def _crypto_section(snapshot: dict) -> str:
     rows = []
     for op in ("sign", "verify"):
-        summary = registry.histogram(f"crypto.{op}_seconds").summary()
+        summary = _h(snapshot, f"crypto.{op}_seconds")
         rows.append([
             op, summary["count"], _ms(summary["mean"]),
             _ms(summary["p50"]), _ms(summary["p95"]), _ms(summary["p99"]),
@@ -91,28 +135,28 @@ def _crypto_section(registry: MetricsRegistry) -> str:
     return "== signature operations ==\n" + table
 
 
-def _transport_section(registry: MetricsRegistry) -> str:
-    depth = registry.gauge("transport.queue_depth")
+def _transport_section(snapshot: dict) -> str:
+    depth = _g(snapshot, "transport.queue_depth")
     rows = [
-        ["data messages sent", registry.counter_value("transport.data_sent")],
-        ["retransmissions", registry.counter_value("transport.retransmissions")],
+        ["data messages sent", _c(snapshot, "transport.data_sent")],
+        ["retransmissions", _c(snapshot, "transport.retransmissions")],
         ["duplicates suppressed",
-         registry.counter_value("transport.duplicates_suppressed")],
-        ["acks received", registry.counter_value("transport.acks_received")],
-        ["retry exhausted", registry.counter_value("transport.retry_exhausted")],
-        ["max outbound queue depth", depth.high_water],
+         _c(snapshot, "transport.duplicates_suppressed")],
+        ["acks received", _c(snapshot, "transport.acks_received")],
+        ["retry exhausted", _c(snapshot, "transport.retry_exhausted")],
+        ["max outbound queue depth", depth["high_water"]],
     ]
     pool_rows = [
         ["connections opened",
-         registry.counter_value("transport.tcp.connections_opened")],
-        ["reconnects", registry.counter_value("transport.tcp.reconnects")],
+         _c(snapshot, "transport.tcp.connections_opened")],
+        ["reconnects", _c(snapshot, "transport.tcp.reconnects")],
         ["connections reused",
-         registry.counter_value("transport.tcp.connections_reused")],
+         _c(snapshot, "transport.tcp.connections_reused")],
         ["connect failures",
-         registry.counter_value("transport.tcp.connect_failures")],
+         _c(snapshot, "transport.tcp.connect_failures")],
         ["frames coalesced",
-         registry.counter_value("transport.tcp.frames_coalesced")],
-        ["coalesced batches", registry.counter_value("transport.tcp.batches")],
+         _c(snapshot, "transport.tcp.frames_coalesced")],
+        ["coalesced batches", _c(snapshot, "transport.tcp.batches")],
     ]
     text = "== reliable transport ==\n" + format_table(["counter", "value"], rows)
     if any(value for _, value in pool_rows):
@@ -121,15 +165,15 @@ def _transport_section(registry: MetricsRegistry) -> str:
     return text
 
 
-def _storage_section(registry: MetricsRegistry) -> str:
-    journal = registry.histogram("storage.journal.append_seconds").summary()
-    evidence = registry.histogram("storage.evidence.append_seconds").summary()
+def _storage_section(snapshot: dict) -> str:
+    journal = _h(snapshot, "storage.journal.append_seconds")
+    evidence = _h(snapshot, "storage.evidence.append_seconds")
     rows = [
-        ["journal", registry.counter_value("storage.journal.appends"),
-         registry.counter_value("storage.journal.bytes"),
+        ["journal", _c(snapshot, "storage.journal.appends"),
+         _c(snapshot, "storage.journal.bytes"),
          _ms(journal["p95"])],
-        ["evidence log", registry.counter_value("storage.evidence.appends"),
-         registry.counter_value("storage.evidence.bytes"),
+        ["evidence log", _c(snapshot, "storage.evidence.appends"),
+         _c(snapshot, "storage.evidence.bytes"),
          _ms(evidence["p95"])],
     ]
     return "== storage ==\n" + format_table(
@@ -137,68 +181,84 @@ def _storage_section(registry: MetricsRegistry) -> str:
     )
 
 
-def _run_section(registry: MetricsRegistry) -> str:
-    started = registry.counter_value("protocol.runs.started")
+def _run_section(snapshot: dict) -> str:
+    started = _c(snapshot, "protocol.runs.started")
     if started == 0:
         return ""
-    run = registry.histogram("protocol.run_seconds").summary()
+    run = _h(snapshot, "protocol.run_seconds")
     rows = [
         ["runs started", started],
-        ["runs valid", registry.counter_value("protocol.runs.valid")],
-        ["runs invalid", registry.counter_value("protocol.runs.invalid")],
+        ["runs valid", _c(snapshot, "protocol.runs.valid")],
+        ["runs invalid", _c(snapshot, "protocol.runs.invalid")],
         ["validation accepted",
-         registry.counter_value("protocol.validation.accepted")],
+         _c(snapshot, "protocol.validation.accepted")],
         ["validation rejected",
-         registry.counter_value("protocol.validation.rejected")],
+         _c(snapshot, "protocol.validation.rejected")],
         ["run time p50 (s)", run["p50"]],
         ["run time p95 (s)", run["p95"]],
     ]
     return "== coordination runs ==\n" + format_table(["metric", "value"], rows)
 
 
-def _pipeline_section(registry: MetricsRegistry) -> str:
-    batches = registry.counter_value("pipeline.batches")
-    retries = registry.counter_value("pipeline.busy_retries")
-    saturated = registry.counter_value("pipeline.saturated")
-    depth = registry.gauge("pipeline.depth")
+def _pipeline_section(snapshot: dict) -> str:
+    batches = _c(snapshot, "pipeline.batches")
+    retries = _c(snapshot, "pipeline.busy_retries")
+    saturated = _c(snapshot, "pipeline.saturated")
+    depth = _g(snapshot, "pipeline.depth")
     if batches == 0 and retries == 0 and saturated == 0 \
-            and depth.high_water == 0:
+            and depth["high_water"] == 0:
         return ""
-    size = registry.histogram("pipeline.batch_size").summary()
+    size = _h(snapshot, "pipeline.batch_size")
     rows = [
         ["batched proposals", batches],
-        ["updates batched", registry.counter_value("pipeline.batched_updates")],
+        ["updates batched", _c(snapshot, "pipeline.batched_updates")],
         ["batch size p50", size["p50"]],
         ["batch size max", size["max"]],
         ["busy retries", retries],
         ["saturation rejections", saturated],
-        ["max pipeline depth", depth.high_water],
+        ["max pipeline depth", depth["high_water"]],
     ]
     return "== proposal pipeline ==\n" + format_table(["metric", "value"], rows)
 
 
-def _gateway_section(registry: MetricsRegistry) -> str:
-    admitted = registry.counter_value("gateway.admitted")
-    rejected = registry.counter_value("gateway.rejected")
-    replays = registry.counter_value("gateway.replays")
+def _gateway_section(snapshot: dict) -> str:
+    admitted = _c(snapshot, "gateway.admitted")
+    rejected = _c(snapshot, "gateway.rejected")
+    replays = _c(snapshot, "gateway.replays")
     if admitted == 0 and rejected == 0 and replays == 0:
         return ""
-    settle = registry.histogram("gateway.settle_seconds").summary()
-    depth = registry.gauge("gateway.queue_depth")
+    settle = _h(snapshot, "gateway.settle_seconds")
+    retry_after = _h(snapshot, "gateway.retry_after_seconds")
+    depth = _g(snapshot, "gateway.queue_depth")
     rows = [
         ["admitted", admitted],
-        ["settled valid", registry.counter_value("gateway.settled.valid")],
-        ["settled invalid", registry.counter_value("gateway.settled.invalid")],
-        ["rate limited", registry.counter_value("gateway.rejected.rate_limited")],
-        ["shed (queue full)", registry.counter_value("gateway.rejected.queue_full")],
+        ["settled valid", _c(snapshot, "gateway.settled.valid")],
+        ["settled invalid", _c(snapshot, "gateway.settled.invalid")],
+        ["rate limited", _c(snapshot, "gateway.rejected.rate_limited")],
+        ["shed (overloaded)", _c(snapshot, "gateway.rejected.overloaded")],
         ["circuit open rejections",
-         registry.counter_value("gateway.rejected.circuit_open")],
+         _c(snapshot, "gateway.rejected.circuit_open")],
         ["idempotent replays", replays],
-        ["max admission queue depth", depth.high_water],
+        ["max admission queue depth", depth["high_water"]],
         ["breaker transitions",
-         registry.counter_value("gateway.breaker.transitions")],
+         _c(snapshot, "gateway.breaker.transitions")],
         ["settle latency p50 ms", _ms(settle["p50"])],
         ["settle latency p95 ms", _ms(settle["p95"])],
         ["settle latency p99 ms", _ms(settle["p99"])],
+        ["retry-after p50 s", retry_after["p50"]],
+        ["retry-after p95 s", retry_after["p95"]],
+        ["retry-after p99 s", retry_after["p99"]],
     ]
     return "== gateway ==\n" + format_table(["metric", "value"], rows)
+
+
+def _health_section(health: "dict | None") -> str:
+    if not health:
+        return ""
+    rows = [
+        ["health", health.get("health", "healthy")],
+        ["firing rules", ", ".join(health.get("firing", [])) or "-"],
+        ["alerts", len(health.get("alerts", []))],
+        ["transitions", len(health.get("transitions", []))],
+    ]
+    return "== node health ==\n" + format_table(["metric", "value"], rows)

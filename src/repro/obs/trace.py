@@ -273,15 +273,20 @@ class Tracer:
         with self._lock:
             self.exporters.append(exporter)
 
-    def event(self, name: str, party: str = "", **attrs) -> TraceRecord:
+    def event(self, name: str, party: str = "",
+              **attrs) -> "TraceRecord | None":
+        if not self.exporters:
+            return None
         record = TraceRecord(kind=EVENT, name=name, party=party,
                              at=self._wall(), attrs=attrs)
         self._export(record)
         return record
 
     def span_end(self, name: str, seconds: float, party: str = "",
-                 **attrs) -> TraceRecord:
+                 **attrs) -> "TraceRecord | None":
         """Record an already-measured span (the instrumentation hot path)."""
+        if not self.exporters:
+            return None
         record = TraceRecord(kind=SPAN, name=name, party=party,
                              at=self._wall(), seconds=seconds, attrs=attrs)
         self._export(record)

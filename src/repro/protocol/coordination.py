@@ -36,7 +36,7 @@ from repro.obs.hooks import (
     PHASE_M3,
     RECEIVED,
     SENT,
-    approx_size,
+    approx_size_cached,
 )
 from repro.protocol.context import PartyContext
 from repro.protocol.engine_base import EngineBase
@@ -329,7 +329,7 @@ class StateCoordinationEngine(EngineBase):
         phase = self._PHASE_BY_TYPE.get(message.get("msg_type"))
         if phase is not None:
             obs.protocol_message(self.party_id, self.object_name, "",
-                                 phase, RECEIVED, approx_size(message))
+                                 phase, RECEIVED, approx_size_cached(message))
         started = time.perf_counter()
         output = self._dispatch(sender, message)
         if phase is not None:

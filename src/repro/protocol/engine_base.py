@@ -12,7 +12,7 @@ from repro.errors import (
 )
 from repro.obs.hooks import RECEIVED as OBS_RECEIVED
 from repro.obs.hooks import SENT as OBS_SENT
-from repro.obs.hooks import approx_size
+from repro.obs.hooks import approx_size_cached
 from repro.obs.trace import TraceContext
 from repro.protocol.context import PartyContext
 from repro.protocol.events import MisbehaviourEvent, Output
@@ -128,7 +128,7 @@ class EngineBase:
         obs = self.ctx.obs
         if not obs.enabled:
             return
-        size = approx_size(message)
+        size = approx_size_cached(message)
         for _ in range(count):
             obs.protocol_message(self.ctx.party_id, self.object_name,
                                  run_id, phase, direction, size)

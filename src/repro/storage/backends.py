@@ -19,6 +19,11 @@ from repro.util.encoding import canonical_bytes, from_canonical_bytes
 class RecordStore:
     """Append-only sequence of canonical-encodable records."""
 
+    #: Encoded size in bytes of the most recent append.  Stores encode
+    #: every record anyway, so instrumentation reads this instead of
+    #: re-serialising the record just to size it.
+    last_append_size = 0
+
     def append(self, record: dict) -> int:
         """Persist *record*, returning its zero-based index."""
         raise NotImplementedError
@@ -43,7 +48,9 @@ class MemoryRecordStore(RecordStore):
     def append(self, record: dict) -> int:
         # Records are stored encoded so that mutation of the caller's dict
         # after append cannot retroactively alter "persisted" history.
-        self._records.append(canonical_bytes(record))
+        blob = canonical_bytes(record)
+        self.last_append_size = len(blob)
+        self._records.append(blob)
         return len(self._records) - 1
 
     def scan(self) -> "Iterator[dict]":
@@ -90,6 +97,7 @@ class FileRecordStore(RecordStore):
 
     def append(self, record: dict) -> int:
         line = canonical_bytes(record) + b"\n"
+        self.last_append_size = len(line) - 1
         self._file.write(line)
         self._file.flush()
         if self._fsync:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from typing import Iterator, Optional
 
-from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation, approx_size
+from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation
 from repro.storage.backends import MemoryRecordStore, RecordStore
 
 SENT = "sent"
@@ -57,7 +57,7 @@ class MessageJournal:
             started = time.perf_counter()
             self._store.append(record)
             self._obs.journal_append(
-                self.owner, run_id, direction, approx_size(record),
+                self.owner, run_id, direction, self._store.last_append_size,
                 time.perf_counter() - started,
             )
         else:

@@ -16,7 +16,7 @@ from typing import Any, Iterator, Optional
 
 from repro.crypto.hashing import hash_value
 from repro.errors import LogCorruptionError
-from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation, approx_size
+from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation
 from repro.storage.backends import MemoryRecordStore, RecordStore
 
 GENESIS_HASH = b"\x00" * 32
@@ -103,7 +103,7 @@ class NonRepudiationLog:
             started = time.perf_counter()
             self._store.append(record)
             self._obs.evidence_append(
-                self.owner, kind, approx_size(record),
+                self.owner, kind, self._store.last_append_size,
                 time.perf_counter() - started,
             )
         else:

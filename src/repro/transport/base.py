@@ -95,8 +95,14 @@ class Network:
         """Attach the inbound-message handler for *party_id*."""
         raise NotImplementedError
 
-    def send(self, envelope: Envelope) -> None:
-        """Best-effort transmission; may drop/duplicate/delay."""
+    def send(self, envelope: Envelope) -> "int | None":
+        """Best-effort transmission; may drop/duplicate/delay.
+
+        Returns the approximate on-the-wire size in bytes when the
+        implementation knows it (it usually sizes or serialises the
+        envelope anyway), so instrumentation above need not re-walk the
+        payload.  ``None`` means unknown.
+        """
         raise NotImplementedError
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:

@@ -116,9 +116,10 @@ class SimNetwork(Network):
 
         return TimerHandle(cancel)
 
-    def send(self, envelope: Envelope) -> None:
+    def send(self, envelope: Envelope) -> int:
+        size = _approx_size(envelope)
         self.stats.sent += 1
-        self.stats.bytes_sent += _approx_size(envelope)
+        self.stats.bytes_sent += size
         envelopes = [envelope]
         for net_filter in self._filters:
             passed: "list[Envelope]" = []
@@ -127,6 +128,7 @@ class SimNetwork(Network):
             envelopes = passed
         for env in envelopes:
             self._transmit(env)
+        return size
 
     # ------------------------------------------------------------------
     # Fault injection / topology control
@@ -255,9 +257,6 @@ class SimNetwork(Network):
 
 
 def _approx_size(envelope: Envelope) -> int:
-    from repro.util.encoding import canonical_bytes
+    from repro.obs.hooks import approx_size
 
-    try:
-        return len(canonical_bytes(envelope.to_dict()))
-    except TypeError:
-        return 0
+    return approx_size(envelope.to_dict())

@@ -169,7 +169,7 @@ class ReliableEndpoint:
             self._outstanding[msg_id] = pending
         # Socket work happens outside the lock: a slow connect must not
         # stall the ack path or other senders.
-        self._network.send(envelope)
+        sent_size = self._network.send(envelope)
         with self._lock:
             # The ack may already have arrived (loopback is fast); only
             # arm the retransmit timer while the send is still open.
@@ -177,8 +177,9 @@ class ReliableEndpoint:
                 self._arm_retransmit(pending)
             depth = len(self._outstanding)
         if self._obs.enabled:
-            self._obs.message_sent(self.party_id, recipient,
-                                   approx_size(envelope.to_dict()))
+            if sent_size is None:
+                sent_size = approx_size(envelope.to_dict())
+            self._obs.message_sent(self.party_id, recipient, sent_size)
             self._obs.queue_depth(self.party_id, depth)
             # Bind the transport message id to the causal trace carried in
             # the payload so retransmission/duplicate events (which only

@@ -126,24 +126,25 @@ class TcpNetwork(Network):
     # sending
     # ------------------------------------------------------------------
 
-    def send(self, envelope: Envelope) -> None:
+    def send(self, envelope: Envelope) -> "int | None":
         try:
             host, port = self.address_of(envelope.recipient)
         except TransportError:
-            return  # unknown party: drop, retransmission may find it later
+            return None  # unknown party: drop, retransmission may find it
         if self._should_drop(envelope):
             if self._obs.enabled:
                 self._obs.raw_send(envelope.sender, envelope.recipient,
                                    0, ok=False)
-            return  # injected loss: the reliable layer retransmits
+            return None  # injected loss: the reliable layer retransmits
         line = canonical_bytes(envelope.to_dict()) + b"\n"
+        size = len(line) - 1
         if self._pooled:
             try:
                 channel = self._channel_for(envelope.recipient)
             except TransportError:
-                return  # network closed concurrently: best-effort drop
+                return None  # network closed concurrently: best-effort drop
             channel.enqueue(envelope.sender, line)
-            return
+            return size
         try:
             with socket.create_connection((host, port), timeout=self._connect_timeout) as conn:
                 conn.sendall(line)
@@ -151,10 +152,11 @@ class TcpNetwork(Network):
             if self._obs.enabled:
                 self._obs.raw_send(envelope.sender, envelope.recipient,
                                    len(line), ok=False)
-            return  # best-effort: the reliable layer retransmits
+            return None  # best-effort: the reliable layer retransmits
         if self._obs.enabled:
             self._obs.raw_send(envelope.sender, envelope.recipient,
                                len(line), ok=True)
+        return size
 
     def _should_drop(self, envelope: Envelope) -> bool:
         if self._drop_probability <= 0.0:

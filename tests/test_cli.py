@@ -189,3 +189,91 @@ class TestSimulateWithFaults:
                      "--fault", "partition", "--failures", "1",
                      "--seed", "6"]) == 0
         assert "replicas converged: yes" in capsys.readouterr().out
+
+
+class TestObsReportJson:
+    def test_json_output_parses(self, capsys):
+        assert main(["obs-report", "--seed", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 3
+        metrics = payload["metrics"]
+        assert metrics["counters"]["protocol.runs.started"] > 0
+        assert "histograms" in metrics
+
+    def test_text_output_unchanged(self, capsys):
+        assert main(["obs-report", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "== protocol phases" in out
+
+
+class TestGatewaySimCrash:
+    def test_crash_scenario_reports_health_story(self, tmp_path, capsys):
+        dump = str(tmp_path / "flight.jsonl")
+        assert main(["gateway-sim", "--clients", "60", "--requests", "2",
+                     "--seed", "7", "--queue-capacity", "256",
+                     "--max-inflight", "64", "--max-batch", "64",
+                     "--arrival-window", "3.0",
+                     "--crash-org", "Org2", "--crash-at", "1.0",
+                     "--recover-at", "4.0", "--watchdog", "0.5",
+                     "--flight-dump", dump]) == 0
+        out = capsys.readouterr().out
+        assert "breaker transitions" in out
+        assert "breaker_flap" in out
+        assert "healthy->degraded" in out
+        assert "node health: healthy" in out
+        with open(dump, encoding="utf-8") as handle:
+            kinds = {json.loads(line)["kind"] for line in handle}
+        assert "protocol_message" in kinds
+
+
+class TestServeMetrics:
+    def test_probe_and_exit(self, capsys):
+        assert main(["serve-metrics", "--port", "0", "--rounds", "1",
+                     "--updates", "4", "--duration", "0",
+                     "--probe"]) == 0
+        out = capsys.readouterr().out
+        assert "probe /metrics: 200" in out
+        assert "probe /metrics.json: 200" in out
+        assert "probe /health: 200" in out
+
+
+class TestTopAndFlightDump:
+    @pytest.fixture
+    def telemetry_url(self):
+        from repro.obs.live import (FlightRecorder, HealthMonitor,
+                                    TelemetryServer)
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("protocol.runs.started").inc(3)
+        registry.counter("protocol.runs.valid").inc(3)
+        flight = FlightRecorder(capacity=8)
+        flight.record("run_started", run_id="r1")
+        monitor = HealthMonitor(registry, rules=[])
+        server = TelemetryServer(registry, monitor=monitor,
+                                 flight=flight).start()
+        yield server.url
+        server.stop()
+
+    def test_top_iterations(self, telemetry_url, capsys):
+        assert main(["top", "--url", telemetry_url,
+                     "--interval", "0.01", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "health" in out
+        assert "healthy" in out
+
+    def test_flight_dump_to_file(self, telemetry_url, tmp_path, capsys):
+        out_path = str(tmp_path / "dump.jsonl")
+        assert main(["flight-dump", "--url", telemetry_url,
+                     "--out", out_path]) == 0
+        with open(out_path, encoding="utf-8") as handle:
+            assert json.loads(handle.readline())["kind"] == "run_started"
+
+    def test_flight_dump_stdout(self, telemetry_url, capsys):
+        assert main(["flight-dump", "--url", telemetry_url]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out.splitlines()[0])["run_id"] == "r1"
+
+    def test_flight_dump_unreachable(self, capsys):
+        assert main(["flight-dump",
+                     "--url", "http://127.0.0.1:9/"]) == 1

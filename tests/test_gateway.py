@@ -324,7 +324,7 @@ class TestGatewayIntegration:
         session.submit(name, {"client": "alice", "n": 1})  # queued
         with pytest.raises(GatewayOverloadedError):
             session.submit(name, {"client": "alice", "n": 1})
-        assert gateway.stats()["rejected"]["queue_full"] == 1
+        assert gateway.stats()["rejected"]["overloaded"] == 1
         community.settle()
         assert first.done
         community.close()
