@@ -220,6 +220,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _run_forensic_game(seed: int, latency: float, drop: float,
                        duplicate: float, transport: str = "sim",
                        tcp_mode: str = "pooled",
+                       wire_codec: str = "json",
                        export_dir: "str | None" = None,
                        trace_out: "str | None" = None):
     """Instrumented 3-party Tic-Tac-Toe run with the Figure 5 cheat.
@@ -264,6 +265,8 @@ def _run_forensic_game(seed: int, latency: float, drop: float,
         runtime = ThreadedRuntime(network=TcpNetwork(
             obs=obs, drop_probability=drop, drop_seed=seed,
             pooled=(tcp_mode == "pooled"),
+            reactor=(tcp_mode == "reactor"),
+            codec=wire_codec,
         ))
         retransmit_interval = 0.03
     else:
@@ -466,7 +469,7 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     community, objects, rejected, obs, trace_paths = _run_forensic_game(
         seed=args.seed, latency=args.latency, drop=args.drop,
         duplicate=args.duplicate, transport=args.transport,
-        tcp_mode=args.tcp_mode,
+        tcp_mode=args.tcp_mode, wire_codec=args.wire_codec,
         export_dir=args.export_dir, trace_out=args.trace_out,
     )
     if args.pipeline_updates > 0:
@@ -487,8 +490,8 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
 
     game = objects["Witness"]
     board = game.board
-    transport_label = (f"tcp/{args.tcp_mode}" if args.transport == "tcp"
-                       else args.transport)
+    transport_label = (f"tcp/{args.tcp_mode}/{args.wire_codec}"
+                       if args.transport == "tcp" else args.transport)
     print(f"3-party Tic-Tac-Toe over lossy links "
           f"(transport={transport_label} seed={args.seed} "
           f"drop={args.drop} duplicate={args.duplicate})")
@@ -845,12 +848,21 @@ def build_parser() -> argparse.ArgumentParser:
                             default="sim",
                             help="sim: deterministic virtual time; "
                                  "tcp: real sockets with injected loss")
-    obs_report.add_argument("--tcp-mode", choices=["pooled", "per-message"],
+    obs_report.add_argument("--tcp-mode",
+                            choices=["pooled", "per-message", "reactor"],
                             default="pooled",
                             help="pooled: persistent per-peer connections "
                                  "with frame coalescing (default); "
                                  "per-message: one short-lived connection "
-                                 "per frame (the original prototype)")
+                                 "per frame (the original prototype); "
+                                 "reactor: one selector event-loop thread "
+                                 "owning all sockets and timers")
+    obs_report.add_argument("--wire-codec", choices=["json", "binary"],
+                            default="json",
+                            help="frame codec for --transport tcp: json "
+                                 "(canonical JSON lines, the original "
+                                 "format) or binary (length-prefixed tag "
+                                 "codec; signatures stay canonical JSON)")
     obs_report.add_argument("--export-dir", default=None,
                             help="write per-party traces, evidence logs and "
                                  "keys.json under this directory "

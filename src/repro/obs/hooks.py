@@ -301,6 +301,25 @@ class Instrumentation:
     def frames_coalesced(self, party: str, peer: str, frames: int) -> None:
         """*frames* (> 1) back-to-back frames left in one ``sendall``."""
 
+    def frame_encoded(self, codec: str, size: int, seconds: float) -> None:
+        """One outbound envelope was framed (*size* on-wire bytes).
+
+        *codec* is ``"json"`` or ``"binary"``; *seconds* covers the
+        full envelope encode, including a memo hit on the encode-once
+        broadcast path (so the histogram shows the amortised cost).
+        """
+
+    def frame_decoded(self, codec: str, size: int, seconds: float) -> None:
+        """One inbound frame of *size* bytes was decoded back to a dict."""
+
+    def malformed_frame(self, party: str, reason: str) -> None:
+        """An inbound frame failed framing or decoding and was dropped.
+
+        *reason* is a short classifier (``"oversized"``, ``"decode"``,
+        ``"bad-envelope"``, ``"framing"``) — garbage on the wire is an
+        intruder signal, so it must be counted, never swallowed.
+        """
+
     def send_traced(self, party: str, recipient: str, msg_id: str,
                     trace_id: str) -> None:
         """The reliable layer bound transport *msg_id* to a trace.

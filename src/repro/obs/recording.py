@@ -48,6 +48,7 @@ class RecordingInstrumentation(Instrumentation):
         # built on first use so an instrument only exists once its hook
         # has actually fired (snapshots stay free of zero-value noise).
         self._transport_instruments: "tuple | None" = None
+        self._frame_instruments: "dict[tuple[str, str], tuple]" = {}
         self._journal_instruments: "tuple | None" = None
         self._evidence_instruments: "tuple | None" = None
         self._sign_instruments: "tuple | None" = None
@@ -329,6 +330,37 @@ class RecordingInstrumentation(Instrumentation):
     def frames_coalesced(self, party, peer, frames):
         self.registry.counter("transport.tcp.batches").inc()
         self.registry.counter("transport.tcp.frames_coalesced").inc(frames)
+
+    def frame_encoded(self, codec, size, seconds):
+        instruments = self._frame_instruments.get((codec, "out"))
+        if instruments is None:
+            instruments = self._frame_instruments[(codec, "out")] = (
+                self.registry.counter(f"wire.{codec}.frames_out"),
+                self.registry.counter(f"wire.{codec}.bytes_out"),
+                self.registry.histogram(f"wire.{codec}.encode_seconds"),
+            )
+        instruments[0].inc()
+        instruments[1].inc(size)
+        instruments[2].observe(seconds)
+
+    def frame_decoded(self, codec, size, seconds):
+        instruments = self._frame_instruments.get((codec, "in"))
+        if instruments is None:
+            instruments = self._frame_instruments[(codec, "in")] = (
+                self.registry.counter(f"wire.{codec}.frames_in"),
+                self.registry.counter(f"wire.{codec}.bytes_in"),
+                self.registry.histogram(f"wire.{codec}.decode_seconds"),
+            )
+        instruments[0].inc()
+        instruments[1].inc(size)
+        instruments[2].observe(seconds)
+
+    def malformed_frame(self, party, reason):
+        self.registry.counter("transport.tcp.malformed_frames").inc()
+        self.registry.counter(
+            f"transport.tcp.malformed_frames.{reason}").inc()
+        if self.flight is not None:
+            self.flight.record("malformed_frame", party=party, reason=reason)
 
     def send_traced(self, party, recipient, msg_id, trace_id):
         self.tracer.event("transport.send", party=party, peer=recipient,

@@ -90,6 +90,7 @@ def render_snapshot(snapshot: dict, health: "dict | None" = None) -> str:
         _phase_section(snapshot),
         _crypto_section(snapshot),
         _transport_section(snapshot),
+        _wire_section(snapshot),
         _storage_section(snapshot),
         _run_section(snapshot),
         _pipeline_section(snapshot),
@@ -157,12 +158,39 @@ def _transport_section(snapshot: dict) -> str:
         ["frames coalesced",
          _c(snapshot, "transport.tcp.frames_coalesced")],
         ["coalesced batches", _c(snapshot, "transport.tcp.batches")],
+        ["malformed frames",
+         _c(snapshot, "transport.tcp.malformed_frames")],
     ]
     text = "== reliable transport ==\n" + format_table(["counter", "value"], rows)
     if any(value for _, value in pool_rows):
         text += ("\n\n== tcp connection pool ==\n"
                  + format_table(["counter", "value"], pool_rows))
     return text
+
+
+def _wire_section(snapshot: dict) -> str:
+    rows = []
+    for codec in ("json", "binary"):
+        frames_out = _c(snapshot, f"wire.{codec}.frames_out")
+        frames_in = _c(snapshot, f"wire.{codec}.frames_in")
+        if frames_out == 0 and frames_in == 0:
+            continue
+        encode = _h(snapshot, f"wire.{codec}.encode_seconds")
+        decode = _h(snapshot, f"wire.{codec}.decode_seconds")
+        rows.append([
+            codec,
+            frames_out, _c(snapshot, f"wire.{codec}.bytes_out"),
+            frames_in, _c(snapshot, f"wire.{codec}.bytes_in"),
+            _ms(encode["p50"]) * 1000.0, _ms(decode["p50"]) * 1000.0,
+        ])
+    if not rows:
+        return ""
+    table = format_table(
+        ["codec", "frames out", "bytes out", "frames in", "bytes in",
+         "encode p50 us", "decode p50 us"],
+        rows,
+    )
+    return "== wire codec ==\n" + table
 
 
 def _storage_section(snapshot: dict) -> str:

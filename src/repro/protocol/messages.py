@@ -118,8 +118,22 @@ class SignedPart:
         return self.signature.signer
 
     def digest(self) -> bytes:
-        """Hash of the signed payload; links follow-up messages to it."""
-        return hash_value(self.payload)
+        """Hash of the signed payload; links follow-up messages to it.
+
+        Memoised: the m1/m2/m3 hot path digests the same part many
+        times (proposal checks, response binding, evidence trails), and
+        ``hash_value`` re-canonicalises the whole payload on every
+        call.  The payload dict is treated as frozen once the part is
+        built — nothing in the protocol mutates a constructed
+        ``SignedPart`` — so the first result is cached on the instance.
+        The dataclass is frozen, hence the ``object.__setattr__``; a
+        race between threads only computes the same bytes twice.
+        """
+        cached = self.__dict__.get("_digest_cache")
+        if cached is None:
+            cached = hash_value(self.payload)
+            object.__setattr__(self, "_digest_cache", cached)
+        return cached
 
 
 def make_signed(payload: dict, signer: Signer,

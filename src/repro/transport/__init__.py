@@ -10,7 +10,7 @@ from repro.transport.base import (
 from repro.transport.inmemory import LinkProfile, NetworkStats, SimNetwork
 from repro.transport.mom import BrokeredSimNetwork
 from repro.transport.reliable import ReliableEndpoint
-from repro.transport.tcp import TcpNetwork
+from repro.transport.tcp import SelectorReactorNetwork, TcpNetwork
 
 __all__ = [
     "Envelope",
@@ -23,5 +23,6 @@ __all__ = [
     "SimNetwork",
     "BrokeredSimNetwork",
     "ReliableEndpoint",
+    "SelectorReactorNetwork",
     "TcpNetwork",
 ]

@@ -132,6 +132,9 @@ class ReliableEndpoint:
         # already recorded in their duplicate-suppression windows.
         self._instance = secrets.token_hex(4)
         self._seq = itertools.count(1)
+        # Single-slot (payload, wrapper) memo backing _wrap(); races only
+        # cost a memo miss, never correctness.
+        self._wrap_memo: "Optional[tuple]" = None
         # Guards _outstanding, _delivered, counters and _stopped; timer
         # callbacks and listener threads all land here concurrently.
         # Reentrant because a failure handler may itself call send().
@@ -159,7 +162,7 @@ class ReliableEndpoint:
         envelope = Envelope(
             sender=self.party_id,
             recipient=recipient,
-            payload={"type": DATA, "data": payload},
+            payload=self._wrap(payload),
             msg_id=msg_id,
         )
         pending = _Pending(envelope=envelope, interval=self._interval)
@@ -189,6 +192,22 @@ class ReliableEndpoint:
                 self._obs.send_traced(self.party_id, recipient, msg_id,
                                       str(trace_ctx["trace_id"]))
         return msg_id
+
+    def _wrap(self, payload: dict) -> dict:
+        """The DATA wrapper for *payload*, memoised by identity.
+
+        A protocol fan-out calls ``send`` once per peer with the *same*
+        payload dict; reusing one wrapper object across those calls lets
+        the transport's encode-once path recognise the broadcast and
+        serialise the payload a single time (the wrapper is never
+        mutated after construction).
+        """
+        memo = self._wrap_memo
+        if memo is not None and memo[0] is payload:
+            return memo[1]
+        wrapper = {"type": DATA, "data": payload}
+        self._wrap_memo = (payload, wrapper)
+        return wrapper
 
     def outstanding_count(self) -> int:
         with self._lock:

@@ -2,9 +2,12 @@
 
 The original prototype used Java RMI between organisations; this module is
 the real-network counterpart of the simulated substrate: one listener
-socket per registered party and canonical-JSON-lines framing.
+socket per registered party.  Frames are produced by :mod:`repro.wire` —
+canonical-JSON lines by default, or the length-prefixed binary codec when
+constructed with ``codec="binary"`` (signatures and evidence stay on
+canonical JSON either way; the codec is framing only).
 
-Two sending modes are supported:
+Three scheduling modes are supported:
 
 * **pooled** (default) — one long-lived connection per remote peer, owned
   by a dedicated writer thread.  Senders enqueue frames; the writer drains
@@ -14,10 +17,15 @@ Two sending modes are supported:
   per message.  A broken connection is detected on write, the affected
   frames are dropped, and the next batch transparently reconnects (with a
   short backoff so a dead peer is not hammered).
+* **reactor** (``reactor=True``, or :class:`SelectorReactorNetwork`) —
+  one :mod:`selectors` event-loop thread owns *every* socket: listeners,
+  inbound connections, outbound channels and the retransmission timers.
+  Same best-effort semantics as pooled, but thread count stays constant
+  as the community grows instead of scaling with peers and connections.
 * **per-message** — the original semantics: one short-lived connection per
   frame.  Kept for comparison benchmarks and as a fallback.
 
-Both modes are best-effort — connection failures drop frames and the
+All modes are best-effort — connection failures drop frames and the
 reliable layer's retransmission recovers, exactly as over the simulated
 lossy network.
 """
@@ -36,10 +44,19 @@ from typing import Callable, Optional
 from repro.errors import TransportError
 from repro.obs.hooks import NULL_INSTRUMENTATION, Instrumentation
 from repro.transport.base import Envelope, MessageHandler, Network, TimerHandle
+from repro.transport.reactor import _Reactor
 from repro.util.clocks import MonotonicClock
-from repro.util.encoding import canonical_bytes, from_canonical_bytes
-
-_MAX_LINE = 16 * 1024 * 1024
+from repro.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    CODECS,
+    MAX_FRAME,
+    EnvelopeEncoder,
+    FrameDecoder,
+    FrameError,
+    FrameTooLargeError,
+    WireError,
+)
 
 #: Minimum delay between reconnect attempts to a peer that refused the
 #: last connection.  Frames arriving inside the window are dropped
@@ -62,10 +79,20 @@ class TcpNetwork(Network):
                  obs: "Instrumentation | None" = None,
                  drop_probability: float = 0.0,
                  drop_seed: "int | None" = None,
-                 pooled: bool = True) -> None:
+                 pooled: bool = True,
+                 codec: str = CODEC_JSON,
+                 reactor: bool = False,
+                 max_frame: int = MAX_FRAME) -> None:
+        if codec not in CODECS:
+            raise ValueError(f"unknown wire codec {codec!r}")
         self._host = host
         self._connect_timeout = connect_timeout
         self._obs = obs if obs is not None else NULL_INSTRUMENTATION
+        self._codec = codec
+        self._encoder = EnvelopeEncoder(codec)
+        self._max_frame = max_frame
+        self._reactor = _Reactor(self) if reactor else None
+        self._reactor_ports: "dict[str, int]" = {}
         # Optional fault injection: drop outbound data frames before they
         # reach the socket, so demos and tests can exercise the reliable
         # layer's retransmission over real sockets deterministically.
@@ -91,6 +118,25 @@ class TcpNetwork(Network):
     def pooled(self) -> bool:
         return self._pooled
 
+    @property
+    def codec(self) -> str:
+        """Wire codec frames leave this network in ("json" / "binary")."""
+        return self._codec
+
+    @property
+    def reactor(self) -> bool:
+        """True when the selector reactor owns all socket work."""
+        return self._reactor is not None
+
+    @property
+    def max_frame(self) -> int:
+        """Upper bound accepted for one inbound frame, in bytes."""
+        return self._max_frame
+
+    @property
+    def reconnect_backoff(self) -> float:
+        return RECONNECT_BACKOFF
+
     def add_remote_party(self, party_id: str, host: str, port: int) -> None:
         """Record the address of a party hosted by another process."""
         with self._lock:
@@ -113,11 +159,30 @@ class TcpNetwork(Network):
         with self._lock:
             if self._closed:
                 raise TransportError("network is closed")
+            if self._reactor is not None:
+                if party_id in self._reactor_ports:
+                    self._reactor.set_handler(party_id, handler)
+                    return
+                # Bind synchronously so the port is in the directory
+                # before register() returns; the reactor loop adopts the
+                # socket for accepting.
+                server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                server.bind((self._host, port))
+                server.listen(128)
+                server.setblocking(False)
+                actual_port = server.getsockname()[1]
+                self._reactor_ports[party_id] = actual_port
+                self._directory[party_id] = (self._host, actual_port)
+                self._reactor.add_listener(party_id, server, handler)
+                return
             existing = self._listeners.get(party_id)
             if existing is not None:
                 existing.handler = handler
                 return
-            listener = _Listener(self._host, handler, port=port)
+            listener = _Listener(self._host, handler, port=port,
+                                 obs=self._obs, party_id=party_id,
+                                 max_frame=self._max_frame)
             listener.start()
             self._listeners[party_id] = listener
             self._directory[party_id] = (self._host, listener.port)
@@ -136,27 +201,44 @@ class TcpNetwork(Network):
                 self._obs.raw_send(envelope.sender, envelope.recipient,
                                    0, ok=False)
             return None  # injected loss: the reliable layer retransmits
-        line = canonical_bytes(envelope.to_dict()) + b"\n"
-        size = len(line) - 1
+        frame = self._encode_frame(envelope)
+        # Reported size excludes the newline terminator for JSON (the
+        # historical accounting) and is the whole frame for binary.
+        size = len(frame) - 1 if self._codec == CODEC_JSON else len(frame)
+        if self._reactor is not None:
+            self._reactor.enqueue(envelope.sender, envelope.recipient, frame)
+            return size
         if self._pooled:
             try:
                 channel = self._channel_for(envelope.recipient)
             except TransportError:
                 return None  # network closed concurrently: best-effort drop
-            channel.enqueue(envelope.sender, line)
+            channel.enqueue(envelope.sender, frame)
             return size
         try:
             with socket.create_connection((host, port), timeout=self._connect_timeout) as conn:
-                conn.sendall(line)
+                # A per-message connection is fresh every time, so the
+                # codec preamble rides in front of every frame.
+                conn.sendall(self._encoder.preamble + frame)
         except OSError:
             if self._obs.enabled:
                 self._obs.raw_send(envelope.sender, envelope.recipient,
-                                   len(line), ok=False)
+                                   len(frame), ok=False)
             return None  # best-effort: the reliable layer retransmits
         if self._obs.enabled:
             self._obs.raw_send(envelope.sender, envelope.recipient,
-                               len(line), ok=True)
+                               len(frame), ok=True)
         return size
+
+    def _encode_frame(self, envelope: Envelope) -> bytes:
+        obs = self._obs
+        if not obs.enabled:
+            return self._encoder.encode(envelope)
+        started = time.perf_counter()
+        frame = self._encoder.encode(envelope)
+        obs.frame_encoded(self._codec, len(frame),
+                          time.perf_counter() - started)
+        return frame
 
     def _should_drop(self, envelope: Envelope) -> bool:
         if self._drop_probability <= 0.0:
@@ -192,7 +274,10 @@ class TcpNetwork(Network):
         # One shared timer heap instead of a threading.Timer (= one OS
         # thread) per call: the reliable layer arms a retransmit timer on
         # *every* send and cancels almost all of them, so arming must cost
-        # a heap push, not a thread spawn.
+        # a heap push, not a thread spawn.  In reactor mode the heap is
+        # folded into the event loop itself — zero timer threads.
+        if self._reactor is not None:
+            return self._reactor.schedule(delay, callback)
         return self._timers.schedule(delay, callback)
 
     def now(self) -> float:
@@ -206,10 +291,41 @@ class TcpNetwork(Network):
             channels = list(self._channels.values())
             self._channels.clear()
         self._timers.stop()
+        if self._reactor is not None:
+            self._reactor.stop()
         for channel in channels:
             channel.stop()
         for listener in listeners:
             listener.stop()
+
+
+class SelectorReactorNetwork(TcpNetwork):
+    """:class:`TcpNetwork` pinned to the selector-reactor mode.
+
+    A convenience facade for the hot path: one event-loop thread owns
+    every socket and timer, and frames default to the binary codec.
+    Pass ``codec="json"`` to keep reactor scheduling with legacy
+    framing (useful for interop benchmarking); the pooled and
+    per-message modes remain available on ``TcpNetwork`` itself.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 2.0,
+                 obs: "Instrumentation | None" = None,
+                 drop_probability: float = 0.0,
+                 drop_seed: "int | None" = None,
+                 codec: str = CODEC_BINARY,
+                 max_frame: int = MAX_FRAME) -> None:
+        super().__init__(
+            host=host,
+            connect_timeout=connect_timeout,
+            obs=obs,
+            drop_probability=drop_probability,
+            drop_seed=drop_seed,
+            pooled=True,
+            codec=codec,
+            reactor=True,
+            max_frame=max_frame,
+        )
 
 
 class _TimerWheel:
@@ -360,15 +476,19 @@ class _PeerChannel:
         if obs.enabled and len(batch) > 1:
             obs.frames_coalesced(first_sender, self._recipient, len(batch))
         sock = self._sock
+        prefix = b""
         if sock is None:
             sock = self._connect(first_sender)
             if sock is None:
                 self._drop_batch(batch)
                 return
+            # Fresh connection: lead with the codec preamble (empty for
+            # JSON) in the same sendall as the first batch.
+            prefix = self._network._encoder.preamble
         elif obs.enabled:
             obs.connection_reused(first_sender, self._recipient)
         try:
-            sock.sendall(b"".join(line for _, line in batch))
+            sock.sendall(prefix + b"".join(line for _, line in batch))
         except OSError:
             # Broken connection: this batch is lost (the reliable layer
             # retransmits); the next batch triggers a reconnect.
@@ -422,8 +542,14 @@ class _Listener:
     """Accept-loop thread delivering decoded envelopes to a handler."""
 
     def __init__(self, host: str, handler: MessageHandler,
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 obs: "Instrumentation | None" = None,
+                 party_id: str = "",
+                 max_frame: int = MAX_FRAME) -> None:
         self.handler = handler
+        self._obs = obs if obs is not None else NULL_INSTRUMENTATION
+        self._party = party_id
+        self._max_frame = max_frame
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind((host, port))
@@ -479,7 +605,7 @@ class _Listener:
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        buffer = b""
+        decoder = FrameDecoder(max_frame=self._max_frame)
         try:
             with conn:
                 # Pooled peers hold their connection open indefinitely and
@@ -489,24 +615,47 @@ class _Listener:
                     chunk = conn.recv(65536)
                     if not chunk:
                         break
-                    buffer += chunk
-                    if len(buffer) > _MAX_LINE:
+                    decoder.feed(chunk)
+                    try:
+                        while True:
+                            frame = decoder.next_frame()
+                            if frame is None:
+                                break
+                            self._dispatch(decoder, frame)
+                    except FrameError as exc:
+                        # Fatal framing violation (unknown preamble,
+                        # oversized frame): count it and drop the
+                        # connection rather than buffering garbage.
+                        reason = ("oversized"
+                                  if isinstance(exc, FrameTooLargeError)
+                                  else "framing")
+                        self._obs.malformed_frame(self._party, reason)
                         return
-                    while b"\n" in buffer:
-                        line, buffer = buffer.split(b"\n", 1)
-                        if line:
-                            self._dispatch(line)
         except OSError:
             return
         finally:
             with self._conns_lock:
                 self._conns.discard(conn)
 
-    def _dispatch(self, line: bytes) -> None:
+    def _dispatch(self, decoder: FrameDecoder, frame: bytes) -> None:
+        # Intruders may inject garbage; a frame that fails to decode is
+        # counted and recorded (never silently swallowed) but does not
+        # kill an otherwise healthy connection.
+        obs = self._obs
+        started = time.perf_counter() if obs.enabled else 0.0
         try:
-            envelope = Envelope.from_dict(from_canonical_bytes(line))
-        except (ValueError, KeyError, TypeError):
-            return  # malformed frame: ignore (intruders may inject garbage)
+            data = decoder.decode(frame)
+        except WireError:
+            obs.malformed_frame(self._party, "decode")
+            return
+        if obs.enabled:
+            obs.frame_decoded(decoder.codec or CODEC_JSON, len(frame),
+                              time.perf_counter() - started)
+        try:
+            envelope = Envelope.from_dict(data)
+        except (ValueError, KeyError, TypeError, AttributeError):
+            obs.malformed_frame(self._party, "bad-envelope")
+            return
         try:
             self.handler(envelope)
         except Exception:  # noqa: BLE001 - a handler bug must not kill the loop

@@ -33,7 +33,8 @@ SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".claude",
 
 #: Files whose ```python blocks must execute cleanly.
 EXECUTABLE_DOCS = ("README.md", os.path.join("docs", "API.md"),
-                   os.path.join("docs", "GATEWAY.md"))
+                   os.path.join("docs", "GATEWAY.md"),
+                   os.path.join("docs", "PROTOCOL.md"))
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^(```|~~~)")
