@@ -17,7 +17,11 @@ Typical usage::
 """
 
 from repro.core.community import Community, two_party_community
-from repro.core.composite import CompositeB2BObject
+from repro.core.composite import (
+    CompositeB2BObject,
+    CompositeTicket,
+    submit_transaction,
+)
 from repro.core.controller import (
     B2BObjectController,
     CoordinationTicket,
@@ -40,12 +44,21 @@ from repro.core.locks import (
 from repro.core.node import OrganisationNode
 from repro.core.object import B2BObject, DictB2BObject
 from repro.core.runtime import Runtime, SimRuntime, ThreadedRuntime
+from repro.core.shards import (
+    DepthBudget,
+    Shard,
+    ShardMap,
+    ShardPipelineGroup,
+    ShardScheduler,
+)
 from repro.core.wrapper import CoordinatedProxy, WrappedB2BObject, wrap_object
 
 __all__ = [
     "Community",
     "two_party_community",
     "CompositeB2BObject",
+    "CompositeTicket",
+    "submit_transaction",
     "B2BObjectController",
     "CoordinationTicket",
     "ObjectMergerAdapter",
@@ -65,6 +78,11 @@ __all__ = [
     "Runtime",
     "SimRuntime",
     "ThreadedRuntime",
+    "DepthBudget",
+    "Shard",
+    "ShardMap",
+    "ShardPipelineGroup",
+    "ShardScheduler",
     "CoordinatedProxy",
     "WrappedB2BObject",
     "wrap_object",

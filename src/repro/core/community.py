@@ -48,7 +48,11 @@ class Community:
                  retransmit_interval: float = 0.05,
                  clock: "Clock | None" = None,
                  storage_dir: "str | None" = None,
-                 obs: "Instrumentation | None" = None) -> None:
+                 obs: "Instrumentation | None" = None,
+                 num_shards: int = 1,
+                 shard_workers: "bool | None" = None,
+                 shard_run_slots: "int | None" = None,
+                 shard_max_depth: "int | None" = None) -> None:
         if len(set(names)) != len(names):
             raise ConfigurationError("organisation names must be unique")
         self.obs = obs if obs is not None else NULL_INSTRUMENTATION
@@ -61,6 +65,21 @@ class Community:
             self.clock = _SimNetworkClock(self.runtime)
         else:
             self.clock = SystemClock()
+        # A flight recorder attached before the community existed (the
+        # CLI builds RecordingInstrumentation(flight=...) up front) has
+        # no clock yet; bind it to the community clock so simulated runs
+        # dump virtual timestamps, never a wall-clock/virtual mix.
+        flight = getattr(self.obs, "flight", None)
+        if flight is not None and hasattr(flight, "bind_clock"):
+            flight.bind_clock(self.clock)
+        # Every node runs the same shard topology so composite
+        # transactions and tests can reason about placement globally.
+        self._shard_options = {
+            "num_shards": num_shards,
+            "shard_workers": shard_workers,
+            "shard_run_slots": shard_run_slots,
+            "shard_max_depth": shard_max_depth,
+        }
         self._rng = DeterministicRandomSource(f"community:{seed}")
         self._key_bits = key_bits
         self.ca = CertificateAuthority(
@@ -150,6 +169,7 @@ class Community:
             certificate_resolver=certificate_resolver,
             certificate=certificate.to_dict(),
             retransmit_interval=self._retransmit_interval,
+            **self._shard_options,
         )
         self.nodes[name] = node
         return node
@@ -258,11 +278,13 @@ class Community:
         if old is None:
             raise ConfigurationError(f"unknown organisation {name!r}")
         old.endpoint.stop()
+        old.shards.stop()
         node = OrganisationNode(
             old.ctx, self.runtime,
             certificate_resolver=old.party.certificate_resolver,
             certificate=old.certificate,
             retransmit_interval=self._retransmit_interval,
+            **self._shard_options,
         )
         self.nodes[name] = node
         return node
@@ -271,6 +293,8 @@ class Community:
         self.runtime.settle(duration)
 
     def close(self) -> None:
+        for node in self.nodes.values():
+            node.shards.stop()
         self.runtime.close()
 
 

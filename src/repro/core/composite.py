@@ -1,14 +1,29 @@
-"""Composite objects.
+"""Composite objects and cross-shard composite transactions.
 
 Section 4 notes the protocol "applies just as well to the use of a
 composite object to coordinate the states of multiple objects".  A
 :class:`CompositeB2BObject` aggregates named child B2BObjects behind one
 coordinated state, so one protocol run atomically validates and installs
 changes across all of them.
+
+With the shard scheduler (:mod:`repro.core.shards`) the children of a
+logical transaction may instead be *independent* shared objects living
+on different shards.  :func:`submit_transaction` keeps such a
+transaction all-or-nothing at admission: every involved shard's lock is
+acquired in canonical order, every child update is validated against the
+locked agreed state (one rejection aborts the whole transaction before
+anything is proposed), and only then is each accepted child handed to
+its shard's pipeline — still under the held locks, so no concurrent
+submission can slip between the checks and the proposals.  Benign busy
+vetoes from concurrent per-child traffic are retried by the pipelines;
+a genuine remote policy veto after admission surfaces through
+:attr:`CompositeTicket.partial` rather than being silently absorbed.
 """
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.object import B2BObject
@@ -103,3 +118,121 @@ class CompositeB2BObject(B2BObject):
     def coord_callback(self, event: Any) -> None:
         for child in self.children.values():
             child.coord_callback(event)
+
+
+@dataclass
+class CompositeTicket:
+    """Handle on one cross-shard transaction.
+
+    ``done`` once every child ticket settled (or the transaction was
+    aborted at admission); ``valid`` only when *all* children settled
+    valid.  ``partial`` flags the pathological post-admission case —
+    some children applied while another was vetoed remotely — which the
+    evidence logs then attribute.
+    """
+
+    object_names: "list[str]"
+    children: "dict[str, Any]" = field(default_factory=dict)
+    aborted: bool = False
+    diagnostics: "list[str]" = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        if self.aborted:
+            return True
+        return all(ticket.done for ticket in self.children.values())
+
+    @property
+    def valid(self) -> "bool | None":
+        if self.aborted:
+            return False
+        if not self.done:
+            return None
+        return all(ticket.valid for ticket in self.children.values())
+
+    @property
+    def partial(self) -> bool:
+        """Some children applied and at least one was vetoed."""
+        if self.aborted or not self.done:
+            return False
+        outcomes = {bool(ticket.valid) for ticket in self.children.values()}
+        return outcomes == {True, False}
+
+    def child_diagnostics(self) -> "list[str]":
+        diags = list(self.diagnostics)
+        for name, ticket in self.children.items():
+            for diag in ticket.diagnostics:
+                diags.append(f"{name}: {diag}")
+        return diags
+
+
+def submit_transaction(node: Any, updates: "dict[str, Any]",
+                       pre_validate: bool = True) -> CompositeTicket:
+    """Propose *updates* (object name → update) as one transaction.
+
+    Children are admitted all-or-nothing: shard locks are taken in
+    canonical (shard index, then name) order, each update is validated
+    against the locked agreed state, and any rejection aborts the whole
+    transaction with nothing proposed.  Accepted children enter their
+    shards' pipelines while the locks are still held, then settle as
+    ordinary (busy-retried) runs.
+    """
+    if not updates:
+        raise ConfigurationError("a transaction requires at least one update")
+    names = sorted(
+        updates, key=lambda name: (node.shards.shard_for(name).index, name))
+    shards = node.shards.shards_for(names)
+    ticket = CompositeTicket(object_names=names)
+    outputs: "list[Any]" = []
+    acquired: "list[threading.RLock]" = []
+    try:
+        for shard in shards:
+            shard.lock.acquire()
+            acquired.append(shard.lock)
+        if pre_validate:
+            diagnostics: "list[str]" = []
+            for name in names:
+                diagnostics.extend(_validate_child(node, name, updates[name]))
+            if diagnostics:
+                ticket.aborted = True
+                ticket.diagnostics = diagnostics
+                return ticket
+        for name in names:
+            pipe = node.shards.shard_for(name).pipelines.pipeline(
+                name, lambda name=name: node.party.session(name).state)
+            child_ticket, output = pipe.submit(updates[name])
+            ticket.children[name] = child_ticket
+            outputs.append(output)
+    finally:
+        for lock in reversed(acquired):
+            lock.release()
+    # Transmit and dispatch only after every shard lock is released —
+    # the node's lock-order contract for _process_output.
+    for output in outputs:
+        node._process_output(output)
+    for name in names:
+        node._schedule_pipeline_retry(name)
+    return ticket
+
+
+def _validate_child(node: Any, name: str, update: Any) -> "list[str]":
+    """Validate one child update against its locked agreed state."""
+    try:
+        session = node.party.session(name)
+    except Exception:
+        return [f"{name}: not connected"]
+    controller = node.controllers.get(name)
+    if controller is None:
+        return [f"{name}: no controller"]
+    b2b_object = controller.b2b_object
+    agreed = session.state.agreed_state
+    try:
+        resulting = b2b_object.merge_update(agreed, update)
+    except Exception as exc:  # merge failure == rejection, not a crash
+        return [f"{name}: merge failed: {exc}"]
+    decision = b2b_object.validate_update(
+        update, resulting, agreed, node.party_id)
+    if decision.accepted:
+        return []
+    return [f"{name}: {diag}"
+            for diag in (decision.diagnostics or ["rejected"])]

@@ -23,6 +23,7 @@ from repro.core.controller import (
 from repro.core.modes import SYNCHRONOUS
 from repro.core.object import B2BObject
 from repro.core.runtime import Runtime, SimRuntime, ThreadedRuntime
+from repro.core.shards import ShardMap, ShardScheduler
 from repro.errors import NotConnectedError, ProtocolBlocked
 from repro.protocol.context import PartyContext
 from repro.protocol.events import (
@@ -36,7 +37,7 @@ from repro.protocol.events import (
 )
 from repro.protocol.group import ROTATING
 from repro.protocol.membership import CertificateResolver
-from repro.protocol.party import ProtocolParty
+from repro.protocol.party import ProtocolParty, extract_object_name
 from repro.protocol.pipeline import PipelineTicket, ProposalPipeline
 from repro.transport.base import TimerHandle
 from repro.transport.reliable import ReliableEndpoint
@@ -51,7 +52,12 @@ class OrganisationNode:
                  certificate_resolver: "CertificateResolver | None" = None,
                  certificate: "dict | None" = None,
                  retransmit_interval: float = 0.05,
-                 default_timeout: "float | None" = None) -> None:
+                 default_timeout: "float | None" = None,
+                 num_shards: int = 1,
+                 shard_map: "ShardMap | None" = None,
+                 shard_workers: "bool | None" = None,
+                 shard_run_slots: "int | None" = None,
+                 shard_max_depth: "int | None" = None) -> None:
         self.ctx = ctx
         self.runtime = runtime
         self.certificate = certificate
@@ -69,12 +75,32 @@ class OrganisationNode:
                                if isinstance(runtime, SimRuntime)
                                else ThreadedRuntime.DEFAULT_TIMEOUT)
         self.default_timeout = default_timeout
+        # The simulation runtime is single-threaded virtual time: shard
+        # worker threads would race its event queue, so routing stays
+        # inline there and workers default on only for real (threaded)
+        # runtimes that actually shard.
+        total_shards = (shard_map.num_shards if shard_map is not None
+                        else num_shards)
+        if shard_workers is None:
+            shard_workers = (total_shards > 1
+                             and not isinstance(runtime, SimRuntime))
+        if isinstance(runtime, SimRuntime):
+            shard_workers = False
+        self.shards = ShardScheduler(
+            num_shards=num_shards, shard_map=shard_map,
+            workers=shard_workers, run_slots=shard_run_slots,
+            shared_max_depth=shard_max_depth, name=ctx.party_id,
+        )
         self._tickets: "dict[str, CoordinationTicket]" = {}
-        self._pipelines: "dict[str, ProposalPipeline]" = {}
         self._pipeline_timers: "dict[str, TimerHandle]" = {}
         self._gateway: "Optional[Any]" = None
         self._live: "Optional[Any]" = None
+        # Control-plane lock (object registration, joins, lazy gateway/
+        # live construction).  Engine access is guarded per shard; the
+        # registry lock below is the leaf for tickets/timers/reports.
+        # Lock order: node lock -> shard lock(s) -> registry lock.
         self._lock = threading.RLock()
+        self._registry_lock = threading.Lock()
         self._join_objects: "dict[str, B2BObject]" = {}
         self._join_modes: "dict[str, str]" = {}
         self._crashed = False
@@ -111,16 +137,18 @@ class OrganisationNode:
             extra: dict = {}
             if engine_cls is not None:
                 extra["engine_cls"] = engine_cls
-            self.party.create_object(
-                object_name,
-                members,
-                b2b_object.get_state(),
-                validator=ObjectValidatorAdapter(b2b_object),
-                merger=ObjectMergerAdapter(b2b_object),
-                sponsor_mode=sponsor_mode,
-                reject_null_transitions=reject_null_transitions,
-                **extra,
-            )
+            shard = self.shards.shard_for(object_name)
+            with shard.lock:
+                self.party.create_object(
+                    object_name,
+                    members,
+                    b2b_object.get_state(),
+                    validator=ObjectValidatorAdapter(b2b_object),
+                    merger=ObjectMergerAdapter(b2b_object),
+                    sponsor_mode=sponsor_mode,
+                    reject_null_transitions=reject_null_transitions,
+                    **extra,
+                )
             self.controllers[object_name] = controller
             return controller
 
@@ -144,16 +172,18 @@ class OrganisationNode:
             extra: dict = {}
             if engine_cls is not None:
                 extra["engine_cls"] = engine_cls
-            session, output = self.party.restore_object(
-                object_name,
-                validator=ObjectValidatorAdapter(b2b_object),
-                merger=ObjectMergerAdapter(b2b_object),
-                **extra,
-            )
-            b2b_object.apply_state(session.state.agreed_state)
+            shard = self.shards.shard_for(object_name)
+            with shard.lock:
+                session, output = self.party.restore_object(
+                    object_name,
+                    validator=ObjectValidatorAdapter(b2b_object),
+                    merger=ObjectMergerAdapter(b2b_object),
+                    **extra,
+                )
+                b2b_object.apply_state(session.state.agreed_state)
             self.controllers[object_name] = controller
-            self._process_output(output)
-            return controller
+        self._process_output(output)
+        return controller
 
     def connect(self, object_name: str, b2b_object: B2BObject,
                 sponsor: "str | None" = None,
@@ -190,21 +220,23 @@ class OrganisationNode:
     def propagate_new_state(self, object_name: str,
                             new_state: Any) -> CoordinationTicket:
         self._await_quiescent(object_name)
-        with self._lock:
+        shard = self.shards.shard_for(object_name)
+        with shard.lock:
             session = self.party.session(object_name)
             run_id, output = session.state.propose_overwrite(new_state)
             ticket = self._track(run_id, object_name, "state")
-            self._process_output(output)
-            return ticket
+        self._process_output(output)
+        return ticket
 
     def propagate_update(self, object_name: str, update: Any) -> CoordinationTicket:
         self._await_quiescent(object_name)
-        with self._lock:
+        shard = self.shards.shard_for(object_name)
+        with shard.lock:
             session = self.party.session(object_name)
             run_id, output = session.state.propose_update(update)
             ticket = self._track(run_id, object_name, "state")
-            self._process_output(output)
-            return ticket
+        self._process_output(output)
+        return ticket
 
     # ------------------------------------------------------------------
     # proposal pipeline (batched coordination rounds)
@@ -216,13 +248,13 @@ class OrganisationNode:
         *options* (``max_batch``, ``max_busy_retries``, ...) configure the
         pipeline on creation and are ignored once it exists.
         """
-        with self._lock:
-            pipe = self._pipelines.get(object_name)
-            if pipe is None:
-                session = self.party.session(object_name)
-                pipe = ProposalPipeline(session.state, **options)
-                self._pipelines[object_name] = pipe
-            return pipe
+        shard = self.shards.shard_for(object_name)
+        with shard.lock:
+            return shard.pipelines.pipeline(
+                object_name,
+                lambda: self.party.session(object_name).state,
+                **options,
+            )
 
     def submit_update(self, object_name: str, update: Any) -> PipelineTicket:
         """Queue *update* through the proposal pipeline.
@@ -234,12 +266,30 @@ class OrganisationNode:
         automatically; the ticket resolves invalid only for genuine
         policy vetoes (or retry exhaustion).
         """
-        with self._lock:
-            pipe = self.pipeline(object_name)
+        shard = self.shards.shard_for(object_name)
+        with shard.lock:
+            pipe = shard.pipelines.pipeline(
+                object_name,
+                lambda: self.party.session(object_name).state,
+            )
             ticket, output = pipe.submit(update)
-            self._process_output(output)
+        self._process_output(output)
         self._schedule_pipeline_retry(object_name)
         return ticket
+
+    def submit_composite(self, updates: "dict[str, Any]") -> "Any":
+        """Submit one all-or-nothing transaction across several objects.
+
+        See :func:`repro.core.composite.submit_transaction`: child
+        shards are locked in canonical order, every child update is
+        validated against the locked agreed states (any rejection aborts
+        the whole transaction before anything is proposed), and the
+        accepted children are submitted to their pipelines under the
+        held locks so no concurrent submission can interleave.
+        """
+        from repro.core.composite import submit_transaction
+
+        return submit_transaction(self, updates)
 
     def gateway(self, **options: Any) -> "Any":
         """This node's client gateway, created on first use.
@@ -289,64 +339,77 @@ class OrganisationNode:
 
     def _schedule_pipeline_retry(self, object_name: str) -> None:
         """Arm a timer for the pipeline's next backoff wake-up, if any."""
-        with self._lock:
-            pipe = self._pipelines.get(object_name)
-            if pipe is None or object_name in self._pipeline_timers:
+        shard = self.shards.shard_for(object_name)
+        pipe = shard.pipelines.get(object_name)
+        if pipe is None:
+            return
+        with self._registry_lock:
+            if object_name in self._pipeline_timers:
                 return
+        with shard.lock:
             delay = pipe.retry_delay()
-            if delay is None:
+        if delay is None:
+            return
+
+        def fire() -> None:
+            with self._registry_lock:
+                self._pipeline_timers.pop(object_name, None)
+            if self._crashed:
                 return
+            with shard.lock:
+                output = pipe.poll()
+            self._process_output(output)
+            self._schedule_pipeline_retry(object_name)
 
-            def fire() -> None:
-                with self._lock:
-                    self._pipeline_timers.pop(object_name, None)
-                    if self._crashed:
-                        return
-                    self._process_output(pipe.poll())
-                self._schedule_pipeline_retry(object_name)
-
-            self._pipeline_timers[object_name] = self.runtime.network.schedule(
-                max(delay, 1e-9), fire
-            )
+        handle = self.runtime.network.schedule(max(delay, 1e-9), fire)
+        with self._registry_lock:
+            if object_name in self._pipeline_timers:
+                handle.cancel()
+            else:
+                self._pipeline_timers[object_name] = handle
 
     def propagate_connect(self, object_name: str, b2b_object: B2BObject,
                           sponsor: "str | None" = None,
                           mode: str = SYNCHRONOUS,
                           sponsor_mode: str = ROTATING,
                           via: "str | None" = None) -> CoordinationTicket:
+        shard = self.shards.shard_for(object_name)
         with self._lock:
-            output = self.party.join_object(
-                object_name, sponsor,
-                certificate=self.certificate,
-                validator=ObjectValidatorAdapter(b2b_object),
-                merger=ObjectMergerAdapter(b2b_object),
-                sponsor_mode=sponsor_mode,
-                via=via,
-            )
+            with shard.lock:
+                output = self.party.join_object(
+                    object_name, sponsor,
+                    certificate=self.certificate,
+                    validator=ObjectValidatorAdapter(b2b_object),
+                    merger=ObjectMergerAdapter(b2b_object),
+                    sponsor_mode=sponsor_mode,
+                    via=via,
+                )
             self._join_objects[object_name] = b2b_object
             self._join_modes[object_name] = mode
             ticket = self._track(f"join:{object_name}", object_name, "connect")
-            self._process_output(output)
-            return ticket
+        self._process_output(output)
+        return ticket
 
     def propagate_disconnect(self, object_name: str) -> CoordinationTicket:
         self._await_quiescent(object_name)
-        with self._lock:
+        shard = self.shards.shard_for(object_name)
+        with shard.lock:
             session = self.party.session(object_name)
             _digest, output = session.membership.request_disconnect()
             ticket = self._track(f"leave:{object_name}", object_name, "disconnect")
-            self._process_output(output)
-            return ticket
+        self._process_output(output)
+        return ticket
 
     def propagate_eviction(self, object_name: str,
                            subjects: "list[str]") -> CoordinationTicket:
         self._await_quiescent(object_name)
-        with self._lock:
+        shard = self.shards.shard_for(object_name)
+        with shard.lock:
             session = self.party.session(object_name)
             _digest, output = session.membership.request_eviction(subjects)
             ticket = self._track(f"evict:{object_name}", object_name, "evict")
-            self._process_output(output)
-            return ticket
+        self._process_output(output)
+        return ticket
 
     # ------------------------------------------------------------------
     # waiting
@@ -389,7 +452,7 @@ class OrganisationNode:
         context's stores; :meth:`recover` resumes protocol participation.
         """
         self._crashed = True
-        with self._lock:
+        with self._registry_lock:
             for handle in self._pipeline_timers.values():
                 handle.cancel()
             self._pipeline_timers.clear()
@@ -407,16 +470,17 @@ class OrganisationNode:
             recover(self.party_id)
         self.endpoint.restart()
         self._crashed = False
-        with self._lock:
-            self._process_output(self.party.resend_outstanding())
+        with self.shards.lock_all():
+            output = self.party.resend_outstanding()
+        self._process_output(output)
 
     def check_progress(self, timeout: "float | None" = None) -> "list[Event]":
         """Surface blocked runs (evidence for dispute resolution)."""
         timeout = timeout if timeout is not None else self.default_timeout
-        with self._lock:
+        with self.shards.lock_all():
             output = self.party.check_progress(timeout)
-            self._process_output(output)
-            return output.events
+        self._process_output(output)
+        return output.events
 
     # ------------------------------------------------------------------
     # internals
@@ -424,17 +488,40 @@ class OrganisationNode:
 
     def _track(self, key: str, object_name: str, kind: str) -> CoordinationTicket:
         ticket = CoordinationTicket(key=key, object_name=object_name, kind=kind)
-        self._tickets[key] = ticket
+        with self._registry_lock:
+            self._tickets[key] = ticket
         return ticket
 
     def _on_message(self, sender: str, payload: dict) -> None:
         if self._crashed:
             return
-        with self._lock:
+        shard = self.shards.shard_for(extract_object_name(payload))
+        obs = self.ctx.obs
+        if obs.enabled and self.shards.workers:
+            obs.shard_dispatch(self.party_id, shard.index, shard.queue_depth)
+        shard.submit(lambda: self._handle_on_shard(shard, sender, payload))
+
+    def _handle_on_shard(self, shard: Any, sender: str,
+                         payload: dict) -> None:
+        """Run the protocol handler under one shard's lock.
+
+        With shard workers on, this executes on the shard's thread —
+        independent objects' m1/m2/m3 handling proceeds concurrently.
+        The returned output is transmitted and dispatched *after* the
+        shard lock is released (see :meth:`_dispatch_event`'s lock-order
+        contract).
+        """
+        if self._crashed:
+            return
+        with shard.lock:
             output = self.party.handle(sender, payload)
-            self._process_output(output)
+        self._process_output(output)
 
     def _process_output(self, output: Output) -> None:
+        # Never called while holding a shard lock: event dispatch takes
+        # shard locks transiently and listener callbacks (the gateway)
+        # take the node lock, so arriving here with one held would
+        # invert the node -> shard order.
         for recipient, message in output.messages:
             if self.outbound_interceptor is not None:
                 for actual_recipient, actual in self.outbound_interceptor(
@@ -447,18 +534,29 @@ class OrganisationNode:
 
     def _dispatch_event(self, event: Event) -> None:
         if isinstance(event, MisbehaviourEvent):
-            self.misbehaviour_reports.append(event)
+            with self._registry_lock:
+                self.misbehaviour_reports.append(event)
         self._resolve_tickets(event)
         object_name = getattr(event, "object_name", None)
         if isinstance(event, ConnectionDecided) and event.accepted:
-            self._finish_join(event)
+            with self._lock:
+                self._finish_join(event)
+        shard = self.shards.shard_for(object_name)
         controller = self.controllers.get(object_name or "")
         if controller is not None:
-            controller.on_event(event)
-        pipe = self._pipelines.get(object_name or "")
-        if pipe is not None:
-            self._process_output(pipe.on_event(event))
-            self._schedule_pipeline_retry(object_name or "")
+            with shard.lock:
+                controller.on_event(event)
+        if object_name:
+            with shard.lock:
+                outputs = shard.pipelines.on_event(event, object_name)
+            for pipeline_output in outputs:
+                self._process_output(pipeline_output)
+            if shard.pipelines.get(object_name) is not None:
+                self._schedule_pipeline_retry(object_name)
+            if (isinstance(event, RunCompleted) and event.kind == "state"
+                    and self.ctx.obs.enabled):
+                self.ctx.obs.shard_settled(self.party_id, shard.index,
+                                           object_name, event.valid)
         for listener in self.listeners:
             listener(event)
 
@@ -475,26 +573,32 @@ class OrganisationNode:
         self.controllers[event.object_name] = controller
 
     def _resolve_tickets(self, event: Event) -> None:
+        lookup = self._ticket_for
         if isinstance(event, RunCompleted):
-            ticket = self._tickets.get(event.run_id)
+            ticket = lookup(event.run_id)
             if ticket is not None and not ticket.done:
                 ticket.resolve(event.valid, event.diagnostics, event)
             if event.kind == "evict":
-                evict_ticket = self._tickets.get(f"evict:{event.object_name}")
+                evict_ticket = lookup(f"evict:{event.object_name}")
                 if evict_ticket is not None and not evict_ticket.done:
                     evict_ticket.resolve(event.valid, event.diagnostics, event)
         elif isinstance(event, MembershipChanged) and event.change == "evict":
-            ticket = self._tickets.get(f"evict:{event.object_name}")
+            ticket = lookup(f"evict:{event.object_name}")
             if ticket is not None and not ticket.done:
                 ticket.resolve(True, [], event)
         elif isinstance(event, ConnectionDecided):
-            ticket = self._tickets.get(f"join:{event.object_name}")
+            ticket = lookup(f"join:{event.object_name}")
             if ticket is not None and not ticket.done:
                 ticket.resolve(event.accepted, event.diagnostics, event)
                 if not event.accepted:
-                    self._join_objects.pop(event.object_name, None)
-                    self._join_modes.pop(event.object_name, None)
+                    with self._lock:
+                        self._join_objects.pop(event.object_name, None)
+                        self._join_modes.pop(event.object_name, None)
         elif isinstance(event, DisconnectionDecided):
-            ticket = self._tickets.get(f"leave:{event.object_name}")
+            ticket = lookup(f"leave:{event.object_name}")
             if ticket is not None and not ticket.done:
                 ticket.resolve(True, [], event)
+
+    def _ticket_for(self, key: str) -> "Optional[CoordinationTicket]":
+        with self._registry_lock:
+            return self._tickets.get(key)

@@ -1,0 +1,357 @@
+"""Multi-object shard scheduler: horizontal scale-out inside one node.
+
+One :class:`~repro.core.node.OrganisationNode` used to serialize *every*
+object's protocol work — inbound m1/m2/m3 handling, pipeline drains,
+validation — behind a single re-entrant lock.  That is correct but caps
+a node at one coordination step at a time however many independent
+B2BObjects it hosts.  This module partitions that responsibility:
+
+* :class:`ShardMap` — a deterministic consistent-hash ring (blake2b over
+  object names, virtual nodes for smoothness) with explicit per-object
+  overrides, so every party of a community routes a given object to the
+  same shard index without coordination.
+* :class:`Shard` — one partition: a re-entrant lock guarding its
+  objects' engines, an optional dedicated worker thread draining an
+  inbound-message queue, and the shard's pipeline group.
+* :class:`ShardPipelineGroup` — the shard's proposal pipelines behind a
+  shared :class:`DepthBudget` (one ``max_depth`` for the whole shard)
+  and an optional ``run_slots`` gate bounding concurrent in-flight runs;
+  settlements poll sibling pipelines round-robin so one hot object
+  cannot monopolise the shard.
+* :class:`ShardScheduler` — the per-node bundle: routing, lifecycle,
+  canonical all-shard lock acquisition for cross-shard operations.
+
+Lock order (must hold everywhere): ``node._lock`` → ``shard.lock`` (in
+ascending shard-index order when several are held) → the node's registry
+lock.  Event listeners and the gateway are never invoked while a shard
+lock is held.
+"""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+import struct
+import threading
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.protocol.events import Event, Output
+from repro.protocol.pipeline import ProposalPipeline
+
+#: Ring positions per shard: enough for <2% imbalance at 8 shards
+#: without making ring construction or bisection noticeable.
+VIRTUAL_NODES = 64
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit hash (builtin ``hash`` is salted per process)."""
+    return struct.unpack(
+        ">Q", hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    )[0]
+
+
+class ShardMap:
+    """Deterministic object-name → shard-index mapping.
+
+    Consistent hashing keeps the mapping stable as names come and go and
+    identical at every party; :meth:`assign` pins individual objects to
+    an explicit shard (e.g. to co-locate a composite with a hot child).
+    """
+
+    def __init__(self, num_shards: int,
+                 overrides: "Optional[dict[str, int]]" = None,
+                 virtual_nodes: int = VIRTUAL_NODES) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        self.num_shards = num_shards
+        self._overrides: "dict[str, int]" = {}
+        ring: "list[tuple[int, int]]" = []
+        for shard in range(num_shards):
+            for replica in range(virtual_nodes):
+                ring.append((_hash64(f"shard:{shard}:vn:{replica}"), shard))
+        ring.sort()
+        self._ring_keys = [key for key, _ in ring]
+        self._ring_shards = [shard for _, shard in ring]
+        for name, shard in (overrides or {}).items():
+            self.assign(name, shard)
+
+    def assign(self, object_name: str, shard: int) -> None:
+        """Pin *object_name* to an explicit shard index."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range (num_shards={self.num_shards})"
+            )
+        self._overrides[object_name] = shard
+
+    def shard_of(self, object_name: str) -> int:
+        override = self._overrides.get(object_name)
+        if override is not None:
+            return override
+        if self.num_shards == 1:
+            return 0
+        import bisect
+
+        point = _hash64(object_name)
+        index = bisect.bisect_right(self._ring_keys, point)
+        if index == len(self._ring_keys):
+            index = 0
+        return self._ring_shards[index]
+
+    def spread(self, names: "list[str]") -> "dict[int, list[str]]":
+        """Group *names* by shard (diagnostics and tests)."""
+        groups: "dict[int, list[str]]" = {}
+        for name in names:
+            groups.setdefault(self.shard_of(name), []).append(name)
+        return groups
+
+
+class DepthBudget:
+    """Shared queue-depth allowance across one shard's pipelines.
+
+    Mutated only under the owning shard's lock, so no lock of its own.
+    Units are acquired at submission and released when the carrying
+    update's ticket resolves (busy-retry re-queues keep their units).
+    """
+
+    __slots__ = ("limit", "used")
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigurationError("shared max_depth must be at least 1")
+        self.limit = limit
+        self.used = 0
+
+    def try_acquire(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+    def release(self, count: int = 1) -> None:
+        self.used = max(0, self.used - count)
+
+
+class ShardPipelineGroup:
+    """One shard's proposal pipelines with shared budget and run slots."""
+
+    def __init__(self, shard_index: int,
+                 run_slots: "Optional[int]" = None,
+                 shared_max_depth: "Optional[int]" = None) -> None:
+        if run_slots is not None and run_slots < 1:
+            raise ConfigurationError("run_slots must be at least 1 (or None)")
+        self.shard_index = shard_index
+        self.run_slots = run_slots
+        self.budget = (DepthBudget(shared_max_depth)
+                       if shared_max_depth is not None else None)
+        self._pipelines: "dict[str, ProposalPipeline]" = {}
+        #: Round-robin poll order; rotated on every settlement so the
+        #: freed run slot goes to the next waiting object, not back to
+        #: the one that just settled.
+        self._rotation: "collections.deque[str]" = collections.deque()
+
+    def get(self, object_name: str) -> "Optional[ProposalPipeline]":
+        return self._pipelines.get(object_name)
+
+    def names(self) -> "list[str]":
+        return list(self._pipelines)
+
+    @property
+    def inflight_runs(self) -> int:
+        return sum(1 for pipe in self._pipelines.values()
+                   if pipe.inflight_run_id is not None)
+
+    @property
+    def queued(self) -> int:
+        return sum(pipe.depth for pipe in self._pipelines.values())
+
+    def _gate(self) -> bool:
+        return (self.run_slots is None
+                or self.inflight_runs < self.run_slots)
+
+    def pipeline(self, object_name: str,
+                 engine_factory: "Callable[[], Any]",
+                 **options: Any) -> ProposalPipeline:
+        """The object's pipeline, created on first use.
+
+        The group's shared budget and run-slot gate are injected unless
+        the caller overrides them explicitly in *options*.
+        """
+        pipe = self._pipelines.get(object_name)
+        if pipe is None:
+            options.setdefault("budget", self.budget)
+            options.setdefault("gate", self._gate)
+            pipe = ProposalPipeline(engine_factory(), **options)
+            self._pipelines[object_name] = pipe
+            self._rotation.append(object_name)
+        return pipe
+
+    def on_event(self, event: Event, object_name: str) -> "list[Output]":
+        """Feed a settlement to the target pipeline, then poll siblings.
+
+        The target absorbs the event *without* immediately re-proposing;
+        the round-robin poll that follows decides which queued pipeline
+        takes the freed engine/run slot, so a hot object with a deep
+        queue interleaves fairly with its shard neighbours.
+        """
+        target = self._pipelines.get(object_name)
+        if target is None:
+            return []
+        target.absorb(event)
+        return self.poll_round()
+
+    def poll_round(self) -> "list[Output]":
+        """Poll every pipeline once, in rotated (fair) order."""
+        if not self._rotation:
+            return []
+        self._rotation.rotate(-1)
+        outputs: "list[Output]" = []
+        for name in self._rotation:
+            output = self._pipelines[name].poll()
+            if output.messages or output.events:
+                outputs.append(output)
+        return outputs
+
+
+class Shard:
+    """One partition of a node's coordination responsibility."""
+
+    def __init__(self, index: int,
+                 run_slots: "Optional[int]" = None,
+                 shared_max_depth: "Optional[int]" = None) -> None:
+        self.index = index
+        self.lock = threading.RLock()
+        self.pipelines = ShardPipelineGroup(
+            index, run_slots=run_slots, shared_max_depth=shared_max_depth)
+        self._queue: "Optional[collections.deque[Callable[[], None]]]" = None
+        self._ready: "Optional[threading.Condition]" = None
+        self._worker: "Optional[threading.Thread]" = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # worker plumbing
+    # ------------------------------------------------------------------
+
+    def start_worker(self, name: str) -> None:
+        if self._worker is not None:
+            return
+        self._queue = collections.deque()
+        self._ready = threading.Condition()
+        self._worker = threading.Thread(
+            target=self._drain, daemon=True, name=f"shard-{name}-{self.index}")
+        self._worker.start()
+
+    @property
+    def worker_running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    @property
+    def queue_depth(self) -> int:
+        queue = self._queue
+        return len(queue) if queue is not None else 0
+
+    def submit(self, work: "Callable[[], None]") -> None:
+        """Run *work* on the shard: queued to the worker, else inline."""
+        ready = self._ready
+        if ready is None or self._stopped:
+            work()
+            return
+        with ready:
+            self._queue.append(work)  # type: ignore[union-attr]
+            ready.notify()
+
+    def _drain(self) -> None:
+        ready = self._ready
+        queue = self._queue
+        assert ready is not None and queue is not None
+        while True:
+            with ready:
+                while not queue and not self._stopped:
+                    ready.wait()
+                if self._stopped and not queue:
+                    return
+                work = queue.popleft()
+            try:
+                work()
+            except Exception:  # noqa: BLE001 - shard work must not kill the drain
+                pass
+
+    def stop(self) -> None:
+        ready = self._ready
+        self._stopped = True
+        if ready is not None:
+            with ready:
+                ready.notify_all()
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=1.0)
+
+
+class ShardScheduler:
+    """A node's set of shards plus the routing map over them."""
+
+    def __init__(self, num_shards: int = 1,
+                 shard_map: "Optional[ShardMap]" = None,
+                 workers: bool = False,
+                 run_slots: "Optional[int]" = None,
+                 shared_max_depth: "Optional[int]" = None,
+                 name: str = "") -> None:
+        if shard_map is not None:
+            self.map = shard_map
+        else:
+            self.map = ShardMap(num_shards)
+        self.shards = [
+            Shard(index, run_slots=run_slots,
+                  shared_max_depth=shared_max_depth)
+            for index in range(self.map.num_shards)
+        ]
+        self.workers = workers
+        if workers:
+            for shard in self.shards:
+                shard.start_worker(name)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, object_name: "Optional[str]") -> Shard:
+        if object_name is None or len(self.shards) == 1:
+            return self.shards[0]
+        return self.shards[self.map.shard_of(object_name)]
+
+    def assign(self, object_name: str, shard: int) -> None:
+        """Pin *object_name* to an explicit shard (before first use)."""
+        self.map.assign(object_name, shard)
+
+    def shards_for(self, names: "list[str]") -> "list[Shard]":
+        """Distinct shards covering *names*, in canonical (index) order."""
+        seen: "dict[int, Shard]" = {}
+        for name in names:
+            shard = self.shard_for(name)
+            seen[shard.index] = shard
+        return [seen[index] for index in sorted(seen)]
+
+    def lock_all(self) -> "_AllShardLocks":
+        """Acquire every shard lock in canonical order (a context
+        manager), for party-wide operations like recovery resends."""
+        return _AllShardLocks(self.shards)
+
+    def pipeline_for(self, object_name: str) -> "Optional[ProposalPipeline]":
+        return self.shard_for(object_name).pipelines.get(object_name)
+
+    def stop(self) -> None:
+        for shard in self.shards:
+            shard.stop()
+
+
+class _AllShardLocks:
+    def __init__(self, shards: "list[Shard]") -> None:
+        self._shards = shards
+
+    def __enter__(self) -> None:
+        for shard in self._shards:
+            shard.lock.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        for shard in reversed(self._shards):
+            shard.lock.release()

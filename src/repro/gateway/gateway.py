@@ -38,6 +38,7 @@ settlement.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -126,6 +127,23 @@ class _ObjectLane:
         self.draining = False
 
 
+class _ShardDispatch:
+    """Per-shard fan-out state: the lanes routed to one shard.
+
+    Dispatch walks the rotation round-robin so a hot object's backlog
+    cannot starve its shard siblings of pipeline slots, and a saturated
+    pipeline on one lane never blocks dispatch to the others.  With a
+    single lane per shard this degrades to the legacy per-object drain.
+    """
+
+    __slots__ = ("rotation", "inflight", "draining")
+
+    def __init__(self) -> None:
+        self.rotation: "deque[str]" = deque()
+        self.inflight = 0
+        self.draining = False
+
+
 class Gateway:
     """Admission-controlled client entry point for one organisation node."""
 
@@ -137,12 +155,18 @@ class Gateway:
                  breaker: "Optional[dict]" = None,
                  idempotency_capacity: int = 4096,
                  shed_retry_after: float = 0.05,
-                 pipeline_options: "Optional[dict]" = None) -> None:
+                 pipeline_options: "Optional[dict]" = None,
+                 shard_inflight: "Optional[int]" = None) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
+        if shard_inflight is not None and shard_inflight < 1:
+            raise ValueError("shard_inflight must be at least 1")
         self.node = node
         self.queue_capacity = queue_capacity
         self.max_inflight = max_inflight
+        # Optional cap on inflight entries per *shard* (across all its
+        # lanes); None keeps the legacy per-object bound only.
+        self.shard_inflight = shard_inflight
         self.shed_retry_after = shed_retry_after
         self.breaker_options = dict(breaker or {})
         self.pipeline_options = dict(pipeline_options or {})
@@ -151,6 +175,8 @@ class Gateway:
             RateLimiter(rate, burst, clock) if rate is not None else None)
         self.idempotency = IdempotencyCache(idempotency_capacity)
         self._lanes: "dict[str, _ObjectLane]" = {}
+        self._shard_dispatch: "dict[int, _ShardDispatch]" = {}
+        self._lane_shard: "dict[str, int]" = {}
         # Share the node's re-entrant lock (see module docstring).
         self._lock = node._lock
         self._session_serial = 0
@@ -239,7 +265,7 @@ class Gateway:
                 obs.gateway_admitted(party, object_name, client_id)
                 obs.gateway_queue_depth(party, object_name, lane.queue.depth)
             self.idempotency.note_pending(client_id, key, ticket)
-            self._drain(object_name, lane)
+            self._drain_shard(self._dispatch_for(object_name))
             return ticket
 
     def wait(self, ticket: GatewayTicket,
@@ -266,6 +292,12 @@ class Gateway:
         with self._lock:
             lane = self._lanes.get(object_name)
             return len(lane.inflight) if lane else 0
+
+    def shard_inflight_count(self, shard_index: int) -> int:
+        """Inflight entries across every lane routed to one shard."""
+        with self._lock:
+            dispatch = self._shard_dispatch.get(shard_index)
+            return dispatch.inflight if dispatch else 0
 
     def stats(self) -> dict:
         """Cumulative admission tallies (also available via repro.obs)."""
@@ -302,7 +334,17 @@ class Gateway:
                                **self.breaker_options),
             )
             self._lanes[object_name] = lane
+            index = self.node.shards.shard_for(object_name).index
+            self._lane_shard[object_name] = index
+            dispatch = self._shard_dispatch.get(index)
+            if dispatch is None:
+                dispatch = self._shard_dispatch[index] = _ShardDispatch()
+            dispatch.rotation.append(object_name)
         return lane
+
+    def _dispatch_for(self, object_name: str) -> _ShardDispatch:
+        self._lane(object_name)
+        return self._shard_dispatch[self._lane_shard[object_name]]
 
     def _reject(self, obs: Any, party: str, object_name: str,
                 client_id: str, reason: str, retry_after: float) -> None:
@@ -311,34 +353,57 @@ class Gateway:
             obs.gateway_rejected(party, object_name, client_id, reason,
                                  retry_after)
 
-    def _drain(self, object_name: str, lane: _ObjectLane) -> None:
-        """Dispatch queued entries into the pipeline, up to max_inflight.
+    def _drain_shard(self, dispatch: _ShardDispatch) -> None:
+        """Dispatch queued entries from a shard's lanes, round-robin.
 
         Called under the shared lock from both admission and settlement;
         the ``draining`` latch stops re-entrant dispatch when the node
-        processes pipeline output synchronously.
+        processes pipeline output synchronously.  Each pass over the
+        rotation moves at most one entry per lane, so a deep backlog on
+        one object interleaves with its shard siblings instead of
+        monopolising the pipeline; a lane whose pipeline reports
+        saturation is parked for this drain (its entry stays at the
+        queue head) without blocking the others.
         """
-        if lane.draining:
+        if dispatch.draining:
             return
-        lane.draining = True
+        dispatch.draining = True
         try:
-            while (len(lane.inflight) < self.max_inflight
-                   and len(lane.queue) > 0):
-                entry = lane.queue.take()
-                if self.pipeline_options:
-                    self.node.pipeline(object_name, **self.pipeline_options)
-                try:
-                    pipeline_ticket = self.node.submit_update(
-                        object_name, entry.update)
-                except PipelineSaturatedError:
-                    # Pipeline backpressure: the entry was admitted, so
-                    # keep it at the head and retry on next settlement.
-                    lane.queue.push_back(entry)
-                    return
-                entry._pipeline_ticket = pipeline_ticket
-                lane.inflight.append(entry)
+            parked: "set[str]" = set()
+            progress = True
+            while progress:
+                progress = False
+                for _ in range(len(dispatch.rotation)):
+                    if (self.shard_inflight is not None
+                            and dispatch.inflight >= self.shard_inflight):
+                        return
+                    object_name = dispatch.rotation[0]
+                    dispatch.rotation.rotate(-1)
+                    lane = self._lanes[object_name]
+                    if (object_name in parked
+                            or len(lane.queue) == 0
+                            or len(lane.inflight) >= self.max_inflight):
+                        continue
+                    entry = lane.queue.take()
+                    if self.pipeline_options:
+                        self.node.pipeline(object_name,
+                                           **self.pipeline_options)
+                    try:
+                        pipeline_ticket = self.node.submit_update(
+                            object_name, entry.update)
+                    except PipelineSaturatedError:
+                        # Pipeline backpressure: the entry was admitted,
+                        # so keep it at the head and retry on next
+                        # settlement; siblings keep draining.
+                        lane.queue.push_back(entry)
+                        parked.add(object_name)
+                        continue
+                    entry._pipeline_ticket = pipeline_ticket
+                    lane.inflight.append(entry)
+                    dispatch.inflight += 1
+                    progress = True
         finally:
-            lane.draining = False
+            dispatch.draining = False
 
     def _on_event(self, event: Event) -> None:
         """Node listener: finalize settled entries, then refill.
@@ -364,7 +429,9 @@ class Gateway:
             for entry in settled:
                 self._finalize(lane, entry)
             if settled:
-                self._drain(event.object_name, lane)
+                dispatch = self._dispatch_for(event.object_name)
+                dispatch.inflight = max(0, dispatch.inflight - len(settled))
+                self._drain_shard(dispatch)
 
     def _finalize(self, lane: _ObjectLane, entry: GatewayTicket) -> None:
         pipeline_ticket = entry._pipeline_ticket

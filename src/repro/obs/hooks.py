@@ -209,6 +209,19 @@ class Instrumentation:
                            depth: int) -> None:
         """A bounded pipeline rejected a submit at *depth* queued updates."""
 
+    # -- shard scheduler (core/shards.py / core/node.py) -------------------
+
+    def shard_dispatch(self, party: str, shard: int, depth: int) -> None:
+        """An inbound message was routed to a shard worker queue.
+
+        *depth* is the queue depth observed at routing time — the live
+        measure of how far a shard is behind its inbound traffic.
+        """
+
+    def shard_settled(self, party: str, shard: int, object_name: str,
+                      valid: bool) -> None:
+        """A state run settled on this shard (per-shard throughput)."""
+
     # -- gateway (gateway/gateway.py) --------------------------------------
 
     def gateway_admitted(self, party: str, object_name: str,
@@ -318,6 +331,17 @@ class Instrumentation:
         *reason* is a short classifier (``"oversized"``, ``"decode"``,
         ``"bad-envelope"``, ``"framing"``) — garbage on the wire is an
         intruder signal, so it must be counted, never swallowed.
+        """
+
+    def handler_error(self, party: str, kind: str) -> None:
+        """A transport-driven callback raised and was contained.
+
+        *kind* is ``"command"`` (a reactor command closure),
+        ``"timer"`` (a timer-wheel or reactor-heap callback) or
+        ``"dispatch"`` (the inbound envelope handler).  Like malformed
+        frames, these are counted and flight-recorded rather than
+        swallowed: a silently-dying handler is how a node wedges with no
+        trace.
         """
 
     def send_traced(self, party: str, recipient: str, msg_id: str,

@@ -82,8 +82,17 @@ class LiveTelemetry:
         self.node = node
         self.obs = obs
         self.registry = registry
-        self.flight = FlightRecorder(flight_capacity, clock=node.ctx.clock)
-        obs.flight = self.flight
+        # Reuse a recorder already attached to the instrumentation (its
+        # ring may hold history worth keeping) rather than replacing it;
+        # either way the node's clock drives the timestamps.
+        existing = getattr(obs, "flight", None)
+        if existing is not None:
+            existing.bind_clock(node.ctx.clock)
+            self.flight = existing
+        else:
+            self.flight = FlightRecorder(flight_capacity,
+                                         clock=node.ctx.clock)
+            obs.flight = self.flight
         self.monitor = HealthMonitor(
             registry, rules=rules, obs=obs, party=node.party_id,
             interval=interval, clock=node.ctx.clock.now,

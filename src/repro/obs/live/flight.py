@@ -53,6 +53,18 @@ class FlightRecorder:
     def _now(self) -> float:
         return self._clock.now() if self._clock is not None else time.time()
 
+    def bind_clock(self, clock: "Optional[Clock]") -> None:
+        """Adopt *clock* for event timestamps, unless one is already set.
+
+        A recorder is often built before the community that owns the
+        clock (``RecordingInstrumentation(flight=...)`` in the CLI);
+        binding late keeps every event on one timeline — mixing the
+        ``time.time()`` fallback with a virtual clock would interleave
+        ~1.7e9 wall values among small simulated times in dumps.
+        """
+        if self._clock is None and clock is not None:
+            self._clock = clock
+
     # ------------------------------------------------------------------
     # write side (hook-site hot path)
     # ------------------------------------------------------------------

@@ -54,6 +54,7 @@ class RecordingInstrumentation(Instrumentation):
         self._sign_instruments: "tuple | None" = None
         self._verify_instruments: "tuple | None" = None
         self._causal_counter = None
+        self._shard_instruments: "dict[int, tuple]" = {}
         self._queue_gauge = None
         self._ack_counter = None
         self._pipeline_gauge = None
@@ -180,6 +181,32 @@ class RecordingInstrumentation(Instrumentation):
         if self.flight is not None:
             self.flight.record("pipeline_saturated", party=party,
                                object=object_name, depth=depth)
+
+    # -- shard scheduler ---------------------------------------------------
+
+    def shard_dispatch(self, party, shard, depth):
+        instruments = self._shard_instruments.get(shard)
+        if instruments is None:
+            instruments = self._shard_instruments[shard] = (
+                self.registry.counter(f"shards.dispatched.s{shard}"),
+                self.registry.gauge(f"shards.queue_depth.s{shard}"),
+                self.registry.counter(f"shards.settled.s{shard}"),
+            )
+        instruments[0].inc()
+        instruments[1].set(depth)
+
+    def shard_settled(self, party, shard, object_name, valid):
+        instruments = self._shard_instruments.get(shard)
+        if instruments is None:
+            instruments = self._shard_instruments[shard] = (
+                self.registry.counter(f"shards.dispatched.s{shard}"),
+                self.registry.gauge(f"shards.queue_depth.s{shard}"),
+                self.registry.counter(f"shards.settled.s{shard}"),
+            )
+        instruments[2].inc()
+        self.registry.counter("shards.settled").inc()
+        if not valid:
+            self.registry.counter("shards.settled.invalid").inc()
 
     # -- gateway -----------------------------------------------------------
 
@@ -361,6 +388,12 @@ class RecordingInstrumentation(Instrumentation):
             f"transport.tcp.malformed_frames.{reason}").inc()
         if self.flight is not None:
             self.flight.record("malformed_frame", party=party, reason=reason)
+
+    def handler_error(self, party, kind):
+        self.registry.counter("transport.tcp.handler_errors").inc()
+        self.registry.counter(f"transport.tcp.handler_errors.{kind}").inc()
+        if self.flight is not None:
+            self.flight.record("handler_error", party=party, site=kind)
 
     def send_traced(self, party, recipient, msg_id, trace_id):
         self.tracer.event("transport.send", party=party, peer=recipient,

@@ -97,7 +97,9 @@ class ProposalPipeline:
                  max_busy_retries: int = 20,
                  base_retry_delay: float = 0.05,
                  max_retry_delay: float = 1.0,
-                 max_depth: "Optional[int]" = None) -> None:
+                 max_depth: "Optional[int]" = None,
+                 budget: "Optional[Any]" = None,
+                 gate: "Optional[Any]" = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_depth is not None and max_depth < 1:
@@ -111,6 +113,13 @@ class ProposalPipeline:
         #: re-queue may transiently exceed it (the entries were already
         #: admitted); only new submissions are rejected at the bound.
         self.max_depth = max_depth
+        #: Shard-shared depth allowance (a DepthBudget): units acquired
+        #: per submission, released when the update's ticket resolves.
+        self.budget = budget
+        #: Shard run-slot gate: a callable that returns False while the
+        #: shard is at its concurrent in-flight run bound; the proposal
+        #: waits queued and a sibling's settlement re-polls it.
+        self.gate = gate
         #: Updates awaiting a run, oldest first.
         self._queue: "list[tuple[Any, PipelineTicket]]" = []
         #: The (run_id, entries) of the run this pipeline has in flight.
@@ -178,6 +187,16 @@ class ProposalPipeline:
                 f"({len(self._queue)} updates queued, max_depth="
                 f"{self.max_depth})"
             )
+        if self.budget is not None and not self.budget.try_acquire():
+            obs = self.engine.ctx.obs
+            if obs.enabled:
+                obs.pipeline_saturated(self.engine.party_id,
+                                       self.object_name, len(self._queue))
+            raise PipelineSaturatedError(
+                f"shard pipeline budget for {self.object_name!r} is "
+                f"exhausted ({self.budget.used} updates admitted, shared "
+                f"max_depth={self.budget.limit})"
+            )
         ticket = PipelineTicket(object_name=self.object_name)
         self._queue.append((update, ticket))
         self._observe_depth()
@@ -189,12 +208,21 @@ class ProposalPipeline:
 
     def on_event(self, event: Event) -> Output:
         """Feed one engine event; drains the queue on any settlement."""
+        self.absorb(event)
+        return self._maybe_propose()
+
+    def absorb(self, event: Event) -> None:
+        """Settle the in-flight batch on its event, *without* proposing.
+
+        Used by the shard pipeline group, which settles first and then
+        polls its pipelines in fair rotation so the freed run slot is
+        not automatically retaken by the object that just settled.
+        """
         if (isinstance(event, RunCompleted) and event.kind == "state"
                 and event.object_name == self.object_name
                 and self._inflight is not None
                 and event.run_id == self._inflight[0]):
             self._settle_inflight(event)
-        return self._maybe_propose()
 
     # ------------------------------------------------------------------
     # internals
@@ -206,6 +234,8 @@ class ProposalPipeline:
         if event.valid:
             self._attempts = 0
             self._not_before = 0.0
+            if self.budget is not None:
+                self.budget.release(len(entries))
             for _, ticket in entries:
                 ticket.resolve(True, [], run_id)
             return
@@ -228,6 +258,8 @@ class ProposalPipeline:
             return
         self._attempts = 0
         self._not_before = 0.0
+        if self.budget is not None:
+            self.budget.release(len(entries))
         for _, ticket in entries:
             ticket.resolve(False, event.diagnostics, run_id)
 
@@ -241,7 +273,8 @@ class ProposalPipeline:
     def _maybe_propose(self) -> Output:
         if (not self._queue or self._inflight is not None
                 or self.engine.busy or self.engine.membership_change_active
-                or self.engine.ctx.clock.now() < self._not_before):
+                or self.engine.ctx.clock.now() < self._not_before
+                or (self.gate is not None and not self.gate())):
             return Output()
         entries = self._queue[:self.max_batch]
         del self._queue[:len(entries)]

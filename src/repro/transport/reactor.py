@@ -208,7 +208,7 @@ class _Reactor:
                 try:
                     command()
                 except Exception:  # noqa: BLE001 - a bad command must not kill I/O
-                    pass
+                    self._network._obs.handler_error("", "command")
             now = time.monotonic()
             heap = self._heap
             while heap and heap[0][0] <= now:
@@ -218,7 +218,7 @@ class _Reactor:
                 try:
                     entry.callback()
                 except Exception:  # noqa: BLE001 - a timer bug must not kill the loop
-                    pass
+                    self._network._obs.handler_error("", "timer")
             timeout: "Optional[float]" = None
             if heap:
                 timeout = max(0.0, heap[0][0] - time.monotonic())
@@ -332,7 +332,7 @@ class _Reactor:
         try:
             handler(envelope)
         except Exception:  # noqa: BLE001 - a handler bug must not kill the loop
-            pass
+            obs.handler_error(inbound.party, "dispatch")
 
     def _close_inbound(self, inbound: _Inbound) -> None:
         self._inbound.discard(inbound)

@@ -111,7 +111,7 @@ class TcpNetwork(Network):
         # Retransmission pacing and timeouts are interval arithmetic, so
         # the network clock must not step backwards under NTP corrections.
         self._clock = MonotonicClock()
-        self._timers = _TimerWheel()
+        self._timers = _TimerWheel(obs=self._obs)
         self._closed = False
 
     @property
@@ -339,7 +339,8 @@ class _TimerWheel:
     one-thread-per-``threading.Timer`` semantics.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None) -> None:
+        self._obs = obs if obs is not None else NULL_INSTRUMENTATION
         self._cond = threading.Condition()
         self._heap: "list[tuple[float, int, _TimerEntry]]" = []
         self._tie = itertools.count()
@@ -392,15 +393,14 @@ class _TimerWheel:
             threading.Thread(target=self._fire, args=(due,),
                              daemon=True).start()
 
-    @staticmethod
-    def _fire(entries: "list[_TimerEntry]") -> None:
+    def _fire(self, entries: "list[_TimerEntry]") -> None:
         for entry in entries:
             if entry.cancelled:
                 continue
             try:
                 entry.callback()
             except Exception:  # noqa: BLE001 - a timer bug must not kill the wheel
-                pass
+                self._obs.handler_error("", "timer")
 
 
 class _TimerEntry:
@@ -659,4 +659,5 @@ class _Listener:
         try:
             self.handler(envelope)
         except Exception:  # noqa: BLE001 - a handler bug must not kill the loop
+            obs.handler_error(self._party, "dispatch")
             return
