@@ -332,13 +332,17 @@ def _run_forensic_game(seed: int, latency: float, drop: float,
 
 
 def _run_pipeline_burst(seed: int, updates: int, registry,
-                        flight=None) -> None:
+                        flight=None, read_ops: int = 0) -> None:
     """Contended pipelined writes: feeds the pipeline report section.
 
     Two proposers submit *updates* each through their write pipelines
     against a shared ledger object, so the report shows batch sizes,
     queue depth and the benign busy retries that contention produces
     (no misbehaviour evidence — benign vetoes are not misbehaviour).
+
+    With *read_ops* > 0 the third organisation also issues that many
+    validated reads against the ledger — cycling cached, bounded and
+    settled consistency modes — to feed the read-cache report section.
     """
     from repro.core.community import Community
     from repro.core.object import DictB2BObject
@@ -365,8 +369,20 @@ def _run_pipeline_burst(seed: int, updates: int, registry,
                     f"{name.lower()}-stamp": index,
                 }
             ))
+    if read_ops > 0:
+        from repro.core.readcache import bounded, cached, settled
+
+        modes = [cached(), bounded(0.5), settled()]
+        for index in range(read_ops):
+            community.examine("Witness", "ledger", modes[index % len(modes)])
     for ticket in tickets:
         community.node("Cross").wait_for_pipeline(ticket)
+    if read_ops > 0:
+        # Post-settlement reads: cached hits against the final state.
+        from repro.core.readcache import cached
+
+        for _ in range(read_ops):
+            community.examine("Witness", "ledger", cached())
     community.settle()
     community.close()
 
@@ -474,7 +490,8 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     )
     if args.pipeline_updates > 0:
         _run_pipeline_burst(seed=args.seed, updates=args.pipeline_updates,
-                            registry=obs.registry)
+                            registry=obs.registry,
+                            read_ops=args.read_ops)
 
     if args.json:
         # Machine-readable twin of the text report: the registry
@@ -502,6 +519,9 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     if args.pipeline_updates > 0:
         print(f"  pipeline burst: 2 proposers x {args.pipeline_updates} "
               f"updates through the batched write pipeline")
+        if args.read_ops > 0:
+            print(f"  read burst: {2 * args.read_ops} validated reads "
+                  f"(cached/bounded/settled) from the snapshot cache")
     if args.trace_out:
         print(f"  trace records written to {args.trace_out}")
     if args.export_dir:
@@ -872,6 +892,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  "pipeline burst that follows the game "
                                  "(feeds the proposal-pipeline section; "
                                  "0 disables)")
+    obs_report.add_argument("--read-ops", type=int, default=0,
+                            help="validated reads issued against the burst "
+                                 "ledger, cycling cached/bounded/settled "
+                                 "consistency modes (feeds the read-cache "
+                                 "section; 0 disables)")
     obs_report.add_argument("--json", action="store_true",
                             help="emit the registry snapshot as JSON "
                                  "instead of the text report")

@@ -43,6 +43,16 @@ from repro.core.locks import (
 )
 from repro.core.node import OrganisationNode
 from repro.core.object import B2BObject, DictB2BObject
+from repro.core.readcache import (
+    ReadCache,
+    ReadMode,
+    ReadResult,
+    Snapshot,
+    bounded,
+    cached,
+    parse_read_mode,
+    settled,
+)
 from repro.core.runtime import Runtime, SimRuntime, ThreadedRuntime
 from repro.core.shards import (
     DepthBudget,
@@ -75,6 +85,14 @@ __all__ = [
     "OrganisationNode",
     "B2BObject",
     "DictB2BObject",
+    "ReadCache",
+    "ReadMode",
+    "ReadResult",
+    "Snapshot",
+    "bounded",
+    "cached",
+    "parse_read_mode",
+    "settled",
     "Runtime",
     "SimRuntime",
     "ThreadedRuntime",

@@ -237,6 +237,15 @@ class Community:
             )
         return controllers
 
+    def examine(self, name: str, object_name: str,
+                read_mode=None):
+        """One organisation's validated read of a shared object.
+
+        Convenience for ``community.node(name).examine(...)`` — returns
+        a :class:`~repro.core.readcache.ReadResult`.
+        """
+        return self.nodes[name].examine(object_name, read_mode)
+
     def _keypair(self, name: str, rng):
         """Generate a key pair, timing it only when observability is on.
 

@@ -24,6 +24,13 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.modes import ASYNCHRONOUS, SYNCHRONOUS, validate_mode
 from repro.core.object import B2BObject
+from repro.core.readcache import (
+    SETTLED,
+    ReadMode,
+    ReadResult,
+    Snapshot,
+    parse_read_mode,
+)
 from repro.errors import ProtocolBlocked, ProtocolError, ValidationFailed
 from repro.protocol.events import (
     ConnectionDecided,
@@ -136,6 +143,8 @@ class B2BObjectController:
         self.timeout = timeout
         self._depth = 0
         self._access: "Optional[str]" = None
+        self._scope_mode: "Optional[ReadMode]" = None
+        self._scope_read: "Optional[ReadResult]" = None
         self.last_validation: "Optional[tuple[str, Decision]]" = None
         b2b_object.set_controller(self)
 
@@ -143,26 +152,75 @@ class B2BObjectController:
     # state access scoping (section 5)
     # ------------------------------------------------------------------
 
-    def enter(self) -> None:
+    def enter(self, read_mode: "ReadMode | str | None" = None) -> None:
         """Begin (or nest into) a state access scope.
 
         On the outermost entry the controller first lets any in-flight
         coordination at this replica settle, so the application reads and
         modifies the current agreed state rather than a stale snapshot.
+
+        Passing *read_mode* (``cached`` or ``bounded(max_staleness)``)
+        opens a **read-only** scope that skips the quiescence wait and
+        pins a validated snapshot from the read cache instead
+        (:mod:`repro.core.readcache`): reads see the pinned snapshot's
+        consistency, writes raise :class:`ProtocolError`.  ``settled``
+        (or None) keeps the classic semantics.  A mode can only be set
+        on the outermost entry.
         """
         if self._depth == 0:
-            self.node._await_quiescent(self.object_name)
+            mode = parse_read_mode(read_mode)
+            if mode.kind == SETTLED:
+                self.node._await_quiescent(self.object_name)
+                self._scope_mode = None
+                self._scope_read = None
+            else:
+                self._scope_read = self.node.readcache.read(
+                    self.object_name, mode)
+                self._scope_mode = mode
+                self._access = EXAMINE
+        elif read_mode is not None:
+            raise ProtocolError(
+                "read mode must be set on the outermost enter")
         self._depth += 1
 
-    def examine(self) -> None:
-        """Declare that the current scope only reads object state."""
+    def examine(self, read_mode: "ReadMode | str | None" = None) -> None:
+        """Declare that the current scope only reads object state.
+
+        With *read_mode*, additionally pin (or re-pin) a validated
+        snapshot mid-scope — only legal while the scope is read-only.
+        """
         self._require_scope()
         if self._access is None:
             self._access = EXAMINE
+        if read_mode is not None:
+            if self._access != EXAMINE:
+                raise ProtocolError(
+                    "cannot pin a read snapshot in a writing scope")
+            mode = parse_read_mode(read_mode)
+            self._scope_read = self.node.readcache.read(
+                self.object_name, mode)
+            self._scope_mode = mode
+
+    @property
+    def snapshot(self) -> "Optional[Snapshot]":
+        """The validated snapshot pinned for the current scope, if any."""
+        read = self._scope_read
+        return read.snapshot if read is not None else None
+
+    def examine_state(self,
+                      read_mode: "ReadMode | str | None" = None) -> Any:
+        """One-shot read of the agreed state in an explicit mode.
+
+        Convenience for ``node.examine(name, read_mode).state`` — no
+        enter/leave scope needed, and for ``cached``/``bounded`` modes
+        no locks taken and no quiescence wait.
+        """
+        return self.node.examine(self.object_name, read_mode).state
 
     def overwrite(self) -> None:
         """Declare that the current scope overwrites object state."""
         self._require_scope()
+        self._require_writable()
         if self._access == UPDATE:
             raise ProtocolError("cannot mix update and overwrite in one scope")
         self._access = OVERWRITE
@@ -170,6 +228,7 @@ class B2BObjectController:
     def update(self) -> None:
         """Declare that the current scope incrementally updates state."""
         self._require_scope()
+        self._require_writable()
         if self._access == OVERWRITE:
             raise ProtocolError("cannot mix update and overwrite in one scope")
         self._access = UPDATE
@@ -186,6 +245,8 @@ class B2BObjectController:
         if self._depth > 0:
             return None
         access, self._access = self._access, None
+        self._scope_mode = None
+        self._scope_read = None
         if access == OVERWRITE:
             return self._coordinate_state(self.b2b_object.get_state())
         if access == UPDATE:
@@ -199,6 +260,13 @@ class B2BObjectController:
     def _require_scope(self) -> None:
         if self._depth <= 0:
             raise ProtocolError("state access outside an enter/leave scope")
+
+    def _require_writable(self) -> None:
+        if self._scope_mode is not None:
+            raise ProtocolError(
+                f"scope opened with read mode "
+                f"{self._scope_mode.describe()} is read-only"
+            )
 
     # ------------------------------------------------------------------
     # coordination initiation

@@ -22,6 +22,7 @@ from repro.core.controller import (
 )
 from repro.core.modes import SYNCHRONOUS
 from repro.core.object import B2BObject
+from repro.core.readcache import ReadCache, ReadMode, ReadResult
 from repro.core.runtime import Runtime, SimRuntime, ThreadedRuntime
 from repro.core.shards import ShardMap, ShardScheduler
 from repro.errors import NotConnectedError, ProtocolBlocked
@@ -34,6 +35,8 @@ from repro.protocol.events import (
     MisbehaviourEvent,
     Output,
     RunCompleted,
+    StateInstalled,
+    StateRolledBack,
 )
 from repro.protocol.group import ROTATING
 from repro.protocol.membership import CertificateResolver
@@ -91,6 +94,7 @@ class OrganisationNode:
             workers=shard_workers, run_slots=shard_run_slots,
             shared_max_depth=shard_max_depth, name=ctx.party_id,
         )
+        self.readcache = ReadCache(self)
         self._tickets: "dict[str, CoordinationTicket]" = {}
         self._pipeline_timers: "dict[str, TimerHandle]" = {}
         self._gateway: "Optional[Any]" = None
@@ -149,6 +153,9 @@ class OrganisationNode:
                     reject_null_transitions=reject_null_transitions,
                     **extra,
                 )
+                engine = self.party.session(object_name).state
+                self.readcache.publish(object_name, engine.agreed_state,
+                                       engine.agreed_sid.to_dict())
             self.controllers[object_name] = controller
             return controller
 
@@ -181,6 +188,9 @@ class OrganisationNode:
                     **extra,
                 )
                 b2b_object.apply_state(session.state.agreed_state)
+                self.readcache.publish(object_name,
+                                       session.state.agreed_state,
+                                       session.state.agreed_sid.to_dict())
             self.controllers[object_name] = controller
         self._process_output(output)
         return controller
@@ -412,6 +422,24 @@ class OrganisationNode:
         return ticket
 
     # ------------------------------------------------------------------
+    # validated read path (core/readcache.py)
+    # ------------------------------------------------------------------
+
+    def examine(self, object_name: str,
+                read_mode: "ReadMode | str | None" = None) -> ReadResult:
+        """Serve one examine-scoped read in an explicit consistency mode.
+
+        ``settled`` (the default) quiesces like a classic examine scope;
+        ``bounded(max_staleness)`` and ``cached`` serve the latest
+        published snapshot lock-free without entering the coordination
+        critical section.  Returns a
+        :class:`~repro.core.readcache.ReadResult` whose ``state`` is an
+        immutable validated snapshot — never a pre-applied or vetoed
+        proposal's state.
+        """
+        return self.readcache.read(object_name, read_mode)
+
+    # ------------------------------------------------------------------
     # waiting
     # ------------------------------------------------------------------
 
@@ -452,6 +480,7 @@ class OrganisationNode:
         context's stores; :meth:`recover` resumes protocol participation.
         """
         self._crashed = True
+        self.readcache.invalidate(reason="crash")
         with self._registry_lock:
             for handle in self._pipeline_timers.values():
                 handle.cancel()
@@ -472,6 +501,16 @@ class OrganisationNode:
         self._crashed = False
         with self.shards.lock_all():
             output = self.party.resend_outstanding()
+            # Republish from the recovered engines: anything published
+            # before the crash is stale by definition.
+            self.readcache.invalidate(reason="recovery")
+            for object_name in list(self.controllers):
+                try:
+                    engine = self.party.session(object_name).state
+                except NotConnectedError:
+                    continue
+                self.readcache.publish(object_name, engine.agreed_state,
+                                       engine.agreed_sid.to_dict())
         self._process_output(output)
 
     def check_progress(self, timeout: "float | None" = None) -> "list[Event]":
@@ -542,6 +581,13 @@ class OrganisationNode:
             with self._lock:
                 self._finish_join(event)
         shard = self.shards.shard_for(object_name)
+        if isinstance(event, (StateInstalled, StateRolledBack)):
+            # Every settlement (a rollback re-settles on the prior agreed
+            # state) publishes the validated snapshot the read path
+            # serves; the shard lock serialises it with the engine.
+            with shard.lock:
+                self.readcache.publish(event.object_name, event.state,
+                                       event.state_id)
         controller = self.controllers.get(object_name or "")
         if controller is not None:
             with shard.lock:
@@ -571,6 +617,14 @@ class OrganisationNode:
         )
         b2b_object.apply_state(event.state)
         self.controllers[event.object_name] = controller
+        shard = self.shards.shard_for(event.object_name)
+        with shard.lock:
+            try:
+                engine = self.party.session(event.object_name).state
+            except NotConnectedError:
+                return
+            self.readcache.publish(event.object_name, engine.agreed_state,
+                                   engine.agreed_sid.to_dict())
 
     def _resolve_tickets(self, event: Event) -> None:
         lookup = self._ticket_for

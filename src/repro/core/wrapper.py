@@ -15,6 +15,7 @@ from typing import Any, Callable, Iterable
 
 from repro.core.controller import B2BObjectController
 from repro.core.object import B2BObject
+from repro.core.readcache import SETTLED, ReadMode, parse_read_mode
 from repro.errors import ConfigurationError
 from repro.protocol.validation import Decision
 
@@ -59,14 +60,37 @@ class CoordinatedProxy:
     Mirrors the paper's generated ``setAttribute``/``getAttribute``
     wrappers: write methods trigger state coordination at ``leave``; read
     methods are examine-scoped and never coordinate.
+
+    With a non-``settled`` *read_mode* (``cached`` or
+    ``bounded(max_staleness)``) read methods bypass the scope machinery
+    entirely: each call fetches a validated snapshot from the read cache
+    (:mod:`repro.core.readcache`), applies it to *read_replica* — a
+    private instance of the application class, required in that
+    configuration — and runs the method there, so reads never block on
+    in-flight coordination and never observe the live object's
+    uncommitted writes.
     """
 
     def __init__(self, app_object: Any, controller: B2BObjectController,
                  write_methods: "Iterable[str]" = (),
                  read_methods: "Iterable[str]" = (),
-                 update_methods: "Iterable[str]" = ()) -> None:
+                 update_methods: "Iterable[str]" = (),
+                 read_mode: "ReadMode | str | None" = None,
+                 read_replica: Any = None) -> None:
         self._app_object = app_object
         self._controller = controller
+        self._read_mode = parse_read_mode(read_mode)
+        self._read_replica = read_replica
+        if self._read_mode.kind != SETTLED:
+            if read_replica is None:
+                raise ConfigurationError(
+                    "cached/bounded read_mode needs a read_replica to "
+                    "apply snapshots to"
+                )
+            if not callable(getattr(read_replica, "apply_state", None)):
+                raise ConfigurationError(
+                    "read_replica must expose apply_state(state)"
+                )
         self._write_methods = set(write_methods)
         self._read_methods = set(read_methods)
         self._update_methods = set(update_methods)
@@ -89,8 +113,24 @@ class CoordinatedProxy:
         if name in self._update_methods:
             return self._scoped(target, self._controller.update)
         if name in self._read_methods:
+            if self._read_mode.kind != SETTLED:
+                return self._snapshot_read(name)
             return self._scoped(target, self._controller.examine)
         return target
+
+    def _snapshot_read(self, name: str) -> Callable[..., Any]:
+        """A read method served from the validated snapshot cache."""
+        controller = self._controller
+        mode = self._read_mode
+        replica = self._read_replica
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = controller.node.examine(controller.object_name, mode)
+            replica.apply_state(result.state)
+            return getattr(replica, name)(*args, **kwargs)
+
+        wrapper.__name__ = name
+        return wrapper
 
     def _scoped(self, method: Callable[..., Any],
                 indicate: Callable[[], None]) -> Callable[..., Any]:
@@ -117,9 +157,13 @@ class CoordinatedProxy:
 def wrap_object(app_object: Any, controller: B2BObjectController,
                 write_methods: "Iterable[str]" = (),
                 read_methods: "Iterable[str]" = (),
-                update_methods: "Iterable[str]" = ()) -> CoordinatedProxy:
+                update_methods: "Iterable[str]" = (),
+                read_mode: "ReadMode | str | None" = None,
+                read_replica: Any = None) -> CoordinatedProxy:
     """Generate the coordinated wrapper for an application object."""
     return CoordinatedProxy(app_object, controller,
                             write_methods=write_methods,
                             read_methods=read_methods,
-                            update_methods=update_methods)
+                            update_methods=update_methods,
+                            read_mode=read_mode,
+                            read_replica=read_replica)

@@ -183,6 +183,7 @@ class Gateway:
         # Local tallies mirroring the obs counters, so callers without
         # instrumentation (the load sim, quick scripts) still get totals.
         self.stats_admitted = 0
+        self.stats_reads = 0
         self.stats_replayed = 0
         self.stats_settled_valid = 0
         self.stats_settled_invalid = 0
@@ -268,6 +269,42 @@ class Gateway:
             self._drain_shard(self._dispatch_for(object_name))
             return ticket
 
+    def read(self, client_id: str, object_name: str,
+             read_mode: Any = None) -> Any:
+        """Serve one client read from the validated snapshot cache.
+
+        Reads go through the per-client rate limiter but never occupy a
+        queue slot, pipeline slot, or breaker budget — a read storm
+        cannot displace write admission, and with ``cached``/``bounded``
+        modes it never even enters the coordination critical section.
+        Returns a :class:`~repro.core.readcache.ReadResult`; raises
+        :class:`~repro.errors.RateLimitedError` when the client's token
+        bucket is empty.
+        """
+        obs = self.node.ctx.obs
+        party = self.node.party_id
+        if self.limiter is not None:
+            with self._lock:
+                ok, retry_after = self.limiter.admit(client_id)
+            if not ok:
+                self._reject_read(obs, party, object_name, client_id,
+                                  retry_after)
+                raise RateLimitedError(
+                    f"client {client_id!r} exceeded its rate limit",
+                    retry_after=retry_after,
+                )
+        result = self.node.examine(object_name, read_mode)
+        self.stats_reads += 1
+        return result
+
+    def _reject_read(self, obs: Any, party: str, object_name: str,
+                     client_id: str, retry_after: float) -> None:
+        with self._lock:
+            self.stats_rejected["rate_limited"] += 1
+        if obs.enabled:
+            obs.gateway_rejected(party, object_name, client_id,
+                                 "rate_limited", retry_after)
+
     def wait(self, ticket: GatewayTicket,
              timeout: "float | None" = None) -> bool:
         """Block until *ticket* settles (or *timeout* passes)."""
@@ -304,6 +341,7 @@ class Gateway:
         with self._lock:
             return {
                 "admitted": self.stats_admitted,
+                "reads": self.stats_reads,
                 "replayed": self.stats_replayed,
                 "settled_valid": self.stats_settled_valid,
                 "settled_invalid": self.stats_settled_invalid,

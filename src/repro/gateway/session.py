@@ -45,6 +45,16 @@ class ClientSession:
             key = self.next_key()
         return self.gateway.submit(self.client_id, object_name, update, key)
 
+    def read(self, object_name: str, read_mode: Any = None) -> Any:
+        """Read the object's validated state in an explicit mode.
+
+        ``cached``/``bounded`` reads are served lock-free from the
+        gateway node's snapshot cache and never occupy an admission or
+        pipeline slot; see :mod:`repro.core.readcache` for the
+        consistency contract.
+        """
+        return self.gateway.read(self.client_id, object_name, read_mode)
+
     def retry(self, ticket: Any) -> Any:
         """Re-submit a ticket's request under its original key.
 

@@ -222,6 +222,26 @@ class Instrumentation:
                       valid: bool) -> None:
         """A state run settled on this shard (per-shard throughput)."""
 
+    # -- read cache (core/readcache.py) ------------------------------------
+
+    def read_served(self, party: str, object_name: str, mode: str,
+                    hit: bool, staleness: float) -> None:
+        """A validated read was served from the snapshot cache.
+
+        *mode* is ``"settled"``/``"bounded"``/``"cached"``; *hit* is True
+        when the published snapshot answered without a refresh;
+        *staleness* is seconds since publication at serve time (0.0 for
+        a refresh).
+        """
+
+    def snapshot_published(self, party: str, object_name: str,
+                           version: int, settle_seq: int) -> None:
+        """A settlement (or refresh) published a new validated snapshot."""
+
+    def snapshot_invalidated(self, party: str, object_name: str,
+                             reason: str) -> None:
+        """A published snapshot was dropped (``"crash"``/``"recovery"``)."""
+
     # -- gateway (gateway/gateway.py) --------------------------------------
 
     def gateway_admitted(self, party: str, object_name: str,

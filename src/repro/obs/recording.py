@@ -55,6 +55,8 @@ class RecordingInstrumentation(Instrumentation):
         self._verify_instruments: "tuple | None" = None
         self._causal_counter = None
         self._shard_instruments: "dict[int, tuple]" = {}
+        self._read_instruments: "dict[tuple[str, bool], tuple]" = {}
+        self._readcache_version_gauge = None
         self._queue_gauge = None
         self._ack_counter = None
         self._pipeline_gauge = None
@@ -207,6 +209,44 @@ class RecordingInstrumentation(Instrumentation):
         self.registry.counter("shards.settled").inc()
         if not valid:
             self.registry.counter("shards.settled.invalid").inc()
+
+    # -- read cache --------------------------------------------------------
+
+    def read_served(self, party, object_name, mode, hit, staleness):
+        # Reads are the hot path this cache exists for: bound-instrument
+        # tuples per (mode, hit), registry-only (no flight ring churn).
+        instruments = self._read_instruments.get((mode, hit))
+        if instruments is None:
+            verdict = "hits" if hit else "misses"
+            instruments = self._read_instruments[(mode, hit)] = (
+                self.registry.counter("readcache.reads"),
+                self.registry.counter(f"readcache.reads.{mode}"),
+                self.registry.counter(f"readcache.{verdict}"),
+                self.registry.histogram("readcache.staleness_seconds"),
+            )
+        instruments[0].inc()
+        instruments[1].inc()
+        instruments[2].inc()
+        instruments[3].observe(staleness)
+
+    def snapshot_published(self, party, object_name, version, settle_seq):
+        self.registry.counter("readcache.published").inc()
+        gauge = self._readcache_version_gauge
+        if gauge is None:
+            gauge = self._readcache_version_gauge = self.registry.gauge(
+                "readcache.version")
+        gauge.set(version)
+        if self.flight is not None:
+            self.flight.record("snapshot_published", party=party,
+                               object=object_name, version=version,
+                               settle_seq=settle_seq)
+
+    def snapshot_invalidated(self, party, object_name, reason):
+        self.registry.counter("readcache.invalidated").inc()
+        self.registry.counter(f"readcache.invalidated.{reason}").inc()
+        if self.flight is not None:
+            self.flight.record("snapshot_invalidated", party=party,
+                               object=object_name, reason=reason)
 
     # -- gateway -----------------------------------------------------------
 

@@ -95,6 +95,7 @@ def render_snapshot(snapshot: dict, health: "dict | None" = None) -> str:
         _run_section(snapshot),
         _pipeline_section(snapshot),
         _shard_section(snapshot),
+        _readcache_section(snapshot),
         _gateway_section(snapshot),
         _health_section(health),
     ]
@@ -295,6 +296,31 @@ def _shard_section(snapshot: dict) -> str:
     if invalid:
         text += f"\ninvalid settlements: {invalid}"
     return text
+
+
+def _readcache_section(snapshot: dict) -> str:
+    reads = _c(snapshot, "readcache.reads")
+    published = _c(snapshot, "readcache.published")
+    if reads == 0 and published == 0:
+        return ""
+    staleness = _h(snapshot, "readcache.staleness_seconds")
+    version = _g(snapshot, "readcache.version")
+    rows = [
+        ["reads", reads],
+        ["reads settled", _c(snapshot, "readcache.reads.settled")],
+        ["reads bounded", _c(snapshot, "readcache.reads.bounded")],
+        ["reads cached", _c(snapshot, "readcache.reads.cached")],
+        ["snapshot hits", _c(snapshot, "readcache.hits")],
+        ["misses (refreshed)", _c(snapshot, "readcache.misses")],
+        ["snapshots published", published],
+        ["snapshots invalidated", _c(snapshot, "readcache.invalidated")],
+        ["latest version", version["value"]],
+        ["staleness p50 ms", _ms(staleness["p50"])],
+        ["staleness p95 ms", _ms(staleness["p95"])],
+        ["staleness max ms", _ms(staleness["max"])],
+    ]
+    return "== validated read cache ==\n" + format_table(
+        ["metric", "value"], rows)
 
 
 def _gateway_section(snapshot: dict) -> str:

@@ -8,18 +8,26 @@ Two checks, both stdlib-only:
    anchor must resolve to an existing file or directory (anchors are
    stripped, targets resolve relative to the linking file).
 2. **Embedded Python examples** — every fenced ```` ```python ````
-   block in ``README.md`` and ``docs/API.md`` is executed with ``src``
-   on ``sys.path``.  Blocks containing ``...`` placeholders are skipped
+   block in the ``EXECUTABLE_DOCS`` files is executed with ``src`` on
+   ``sys.path``.  Blocks containing ``...`` placeholders are skipped
    as illustrative.  An example that raises fails the check — so the
    documented API cannot silently drift from the implementation.
+   ``--tcp-mode {pooled,reactor}`` exports ``REPRO_DOCS_TCP_MODE`` so
+   examples that honour it (``docs/READS.md``) run over real TCP
+   sockets in that mode instead of the simulator.
+3. **Experiment-count consistency** — the experiment count stated in
+   ``README.md`` must equal the number of experiment rows in the
+   ``EXPERIMENTS.md`` table, so the docs cannot rot as benches land.
 
 Run from the repository root (CI's ``docs-check`` job does):
 
     PYTHONPATH=src python tools/check_docs.py
+    PYTHONPATH=src python tools/check_docs.py --tcp-mode reactor
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import re
 import sys
@@ -34,7 +42,12 @@ SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".claude",
 #: Files whose ```python blocks must execute cleanly.
 EXECUTABLE_DOCS = ("README.md", os.path.join("docs", "API.md"),
                    os.path.join("docs", "GATEWAY.md"),
-                   os.path.join("docs", "PROTOCOL.md"))
+                   os.path.join("docs", "PROTOCOL.md"),
+                   os.path.join("docs", "READS.md"))
+
+#: README phrasing that must track the EXPERIMENTS.md table.
+EXPERIMENT_COUNT_RE = re.compile(r"(\d+) experiments")
+EXPERIMENT_ROW_RE = re.compile(r"^\| [FC]\d")
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^(```|~~~)")
@@ -131,9 +144,40 @@ def check_examples() -> "list[str]":
     return problems
 
 
+def check_experiment_count() -> "list[str]":
+    """README's stated experiment count must match EXPERIMENTS.md."""
+    with open(os.path.join(REPO_ROOT, "EXPERIMENTS.md"),
+              encoding="utf-8") as handle:
+        rows = sum(1 for line in handle
+                   if EXPERIMENT_ROW_RE.match(line))
+    with open(os.path.join(REPO_ROOT, "README.md"),
+              encoding="utf-8") as handle:
+        stated = [int(m.group(1))
+                  for m in EXPERIMENT_COUNT_RE.finditer(handle.read())]
+    problems = []
+    if not stated:
+        problems.append("README.md: no 'N experiments' count found")
+    for count in stated:
+        if count != rows:
+            problems.append(
+                f"README.md says '{count} experiments' but EXPERIMENTS.md "
+                f"has {rows} experiment rows — update the README"
+            )
+    return problems
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tcp-mode", choices=("pooled", "reactor"), default=None,
+        help="run REPRO_DOCS_TCP_MODE-aware examples over real TCP "
+             "sockets in this transport mode (default: simulator)")
+    options = parser.parse_args()
+    if options.tcp_mode:
+        os.environ["REPRO_DOCS_TCP_MODE"] = options.tcp_mode
     problems = check_links()
     problems += check_examples()
+    problems += check_experiment_count()
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)
